@@ -1,0 +1,4 @@
+//! Regenerates E0: system-model message costs (Section 2 / Fig. 1).
+fn main() {
+    println!("{}", mobidist_bench::exp_model::run());
+}

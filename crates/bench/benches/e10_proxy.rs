@@ -1,0 +1,5 @@
+//! Regenerates E10: fixed vs local proxies as the move rate grows (Section 5).
+fn main() {
+    let quick = std::env::var_os("MOBIDIST_QUICK").is_some();
+    println!("{}", mobidist_bench::exp_proxy::e10_proxy(quick));
+}

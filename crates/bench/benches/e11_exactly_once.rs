@@ -1,0 +1,5 @@
+//! Regenerates E11: the exactly-once extension (reference [1]) under churn.
+fn main() {
+    let quick = std::env::var_os("MOBIDIST_QUICK").is_some();
+    println!("{}", mobidist_bench::exp_group::e11_exactly_once(quick));
+}

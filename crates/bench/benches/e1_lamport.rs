@@ -1,0 +1,5 @@
+//! Regenerates E1: L1 vs L2 cost per execution (Section 3.1.1).
+fn main() {
+    let quick = std::env::var_os("MOBIDIST_QUICK").is_some();
+    println!("{}", mobidist_bench::exp_mutex::e1_lamport(quick));
+}

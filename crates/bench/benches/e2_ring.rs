@@ -1,0 +1,5 @@
+//! Regenerates E2: R1 vs R2 cost per traversal (Section 3.1.2).
+fn main() {
+    let quick = std::env::var_os("MOBIDIST_QUICK").is_some();
+    println!("{}", mobidist_bench::exp_mutex::e2_ring(quick));
+}

@@ -1,0 +1,5 @@
+//! Regenerates E3: wireless operations (battery) per execution.
+fn main() {
+    let quick = std::env::var_os("MOBIDIST_QUICK").is_some();
+    println!("{}", mobidist_bench::exp_mutex::e3_energy(quick));
+}

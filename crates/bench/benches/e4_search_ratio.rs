@@ -1,0 +1,5 @@
+//! Regenerates E4: L1/L2 factor vs C_search/C_fixed.
+fn main() {
+    let quick = std::env::var_os("MOBIDIST_QUICK").is_some();
+    println!("{}", mobidist_bench::exp_mutex::e4_search_ratio(quick));
+}

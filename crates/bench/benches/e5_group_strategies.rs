@@ -1,0 +1,5 @@
+//! Regenerates E5: group-message cost vs mobility-to-message ratio (Section 4).
+fn main() {
+    let quick = std::env::var_os("MOBIDIST_QUICK").is_some();
+    println!("{}", mobidist_bench::exp_group::e5_group_strategies(quick));
+}

@@ -1,0 +1,5 @@
+//! Regenerates E6: |LV(G)| vs locality (Section 4.3).
+fn main() {
+    let quick = std::env::var_os("MOBIDIST_QUICK").is_some();
+    println!("{}", mobidist_bench::exp_group::e6_locality(quick));
+}

@@ -1,0 +1,5 @@
+//! Regenerates E7: progress under voluntary disconnection.
+fn main() {
+    let quick = std::env::var_os("MOBIDIST_QUICK").is_some();
+    println!("{}", mobidist_bench::exp_mutex::e7_disconnection(quick));
+}

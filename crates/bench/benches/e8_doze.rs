@@ -1,0 +1,5 @@
+//! Regenerates E8: doze-mode interruptions, R1 vs R2'.
+fn main() {
+    let quick = std::env::var_os("MOBIDIST_QUICK").is_some();
+    println!("{}", mobidist_bench::exp_mutex::e8_doze(quick));
+}

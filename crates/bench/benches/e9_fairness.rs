@@ -1,0 +1,5 @@
+//! Regenerates E9: fairness guards and the malicious under-reporter.
+fn main() {
+    let quick = std::env::var_os("MOBIDIST_QUICK").is_some();
+    println!("{}", mobidist_bench::exp_mutex::e9_fairness(quick));
+}

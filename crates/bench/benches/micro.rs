@@ -1,0 +1,105 @@
+//! Criterion micro-benchmarks: simulator kernel throughput and end-to-end
+//! algorithm executions. These measure *implementation* speed (how fast the
+//! reproduction runs), complementing the e*-benches which measure *model*
+//! costs (what the paper predicts).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mobidist_core::prelude::*;
+use mobidist_group::prelude::*;
+use mobidist_net::prelude::*;
+use std::hint::black_box;
+
+/// A protocol that keeps `depth` fixed-network messages bouncing between
+/// MSS pairs forever — pure kernel overhead.
+#[derive(Debug)]
+struct Bouncer {
+    depth: usize,
+}
+
+impl Protocol for Bouncer {
+    type Msg = u64;
+    type Timer = ();
+    fn on_start(&mut self, ctx: &mut Ctx<'_, u64, ()>) {
+        let m = ctx.num_mss() as u32;
+        for i in 0..self.depth {
+            let from = MssId(i as u32 % m);
+            let to = MssId((i as u32 + 1) % m);
+            ctx.send_fixed(from, to, i as u64);
+        }
+    }
+    fn on_mss_msg(&mut self, ctx: &mut Ctx<'_, u64, ()>, at: MssId, _: Src, msg: u64) {
+        let m = ctx.num_mss() as u32;
+        ctx.send_fixed(at, MssId((at.0 + 1) % m), msg + 1);
+    }
+    fn on_mh_msg(&mut self, _: &mut Ctx<'_, u64, ()>, _: MhId, _: Src, _: u64) {}
+}
+
+fn kernel_throughput(c: &mut Criterion) {
+    let mut g = c.benchmark_group("kernel");
+    for depth in [16usize, 256] {
+        g.bench_with_input(
+            BenchmarkId::new("fixed_msgs_10k_events", depth),
+            &depth,
+            |b, &depth| {
+                b.iter(|| {
+                    let cfg = NetworkConfig::new(8, 8).with_seed(1);
+                    let mut sim = Simulation::new(cfg, Bouncer { depth });
+                    for _ in 0..10_000 {
+                        if !sim.step() {
+                            break;
+                        }
+                    }
+                    black_box(sim.ledger().fixed_msgs)
+                })
+            },
+        );
+    }
+    g.finish();
+}
+
+fn mutex_executions(c: &mut Criterion) {
+    let mut g = c.benchmark_group("mutex");
+    g.bench_function("l2_16mh_1req_each", |b| {
+        b.iter(|| {
+            let cfg = NetworkConfig::new(4, 16).with_seed(2);
+            let wl = WorkloadConfig::all_mhs(16, 1);
+            let mut sim = Simulation::new(cfg, MutexHarness::new(L2::new(4), wl));
+            sim.run_until(SimTime::from_ticks(50_000_000));
+            let r = sim.protocol().report();
+            assert_eq!(r.completed, 16);
+            black_box(r.completed)
+        })
+    });
+    g.bench_function("r2_prime_16mh_1req_each", |b| {
+        b.iter(|| {
+            let cfg = NetworkConfig::new(4, 16).with_seed(2);
+            let wl = WorkloadConfig::all_mhs(16, 1);
+            let algo = R2::new(4, RingGuard::Counter);
+            let mut sim = Simulation::new(cfg, MutexHarness::new(algo, wl));
+            sim.run_until(SimTime::from_ticks(100_000));
+            black_box(sim.protocol().report().completed)
+        })
+    });
+    g.finish();
+}
+
+fn group_messaging(c: &mut Criterion) {
+    let mut g = c.benchmark_group("group");
+    g.bench_function("location_view_20msgs_mobile", |b| {
+        b.iter(|| {
+            let members: Vec<MhId> = (0..8u32).map(MhId).collect();
+            let cfg = NetworkConfig::new(8, 8)
+                .with_seed(3)
+                .with_mobility(MobilityConfig::moving(500));
+            let wl = GroupWorkload::new(members.clone(), 20, 100);
+            let mut sim =
+                Simulation::new(cfg, GroupHarness::new(LocationView::new(members, MssId(0)), wl));
+            sim.run_until(SimTime::from_ticks(500_000));
+            black_box(sim.protocol().report().delivered)
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, kernel_throughput, mutex_executions, group_messaging);
+criterion_main!(benches);

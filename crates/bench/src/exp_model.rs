@@ -1,0 +1,85 @@
+//! **E0 — system-model validation** (Section 2, Fig. 1).
+//!
+//! Exercises each primitive message path of the model once and compares the
+//! charged cost against the paper's cost table:
+//!
+//! * MSS→MSS: `C_fixed`
+//! * MH→local MSS (and back): `C_wireless`
+//! * MSS→non-local MH: `C_search + C_wireless`
+//! * MH→MH: `2·C_wireless + C_search`
+
+use crate::table::Table;
+use mobidist_net::prelude::*;
+
+/// Null protocol that accepts every delivery.
+#[derive(Debug, Default)]
+struct Sink;
+
+impl Protocol for Sink {
+    type Msg = u8;
+    type Timer = ();
+    fn on_mss_msg(&mut self, _: &mut Ctx<'_, u8, ()>, _: MssId, _: Src, _: u8) {}
+    fn on_mh_msg(&mut self, _: &mut Ctx<'_, u8, ()>, _: MhId, _: Src, _: u8) {}
+}
+
+fn measure(f: impl FnOnce(&mut Ctx<'_, u8, ()>)) -> u64 {
+    let cfg = NetworkConfig::new(8, 16).with_seed(7);
+    let mut sim = Simulation::new(cfg, Sink);
+    sim.with_ctx(|ctx, _| f(ctx));
+    sim.run_to_quiescence(1_000_000);
+    sim.ledger().total_cost()
+}
+
+/// Runs the model-validation experiment.
+pub fn run() -> Table {
+    let c = CostModel::default();
+    let mut t = Table::new(
+        "E0 — system-model message costs (Section 2)",
+        &["operation", "paper", "measured"],
+    );
+    let cases: Vec<(&str, u64, u64)> = vec![
+        (
+            "MSS -> MSS (C_fixed)",
+            c.c_fixed,
+            measure(|ctx| ctx.send_fixed(MssId(0), MssId(5), 0)),
+        ),
+        (
+            "MH -> local MSS (C_wireless)",
+            c.c_wireless,
+            measure(|ctx| ctx.send_wireless_up(MhId(3), 0).unwrap()),
+        ),
+        (
+            "MSS -> local MH (C_wireless)",
+            c.c_wireless,
+            measure(|ctx| ctx.send_wireless_down(MssId(3), MhId(3), 0).unwrap()),
+        ),
+        (
+            "MSS -> non-local MH (C_search + C_wireless)",
+            c.mss_to_remote_mh(),
+            measure(|ctx| ctx.search_send(MssId(0), MhId(3), 0)),
+        ),
+        (
+            "MH -> MH (2 C_wireless + C_search)",
+            c.mh_to_mh(),
+            measure(|ctx| ctx.mh_send_to_mh(MhId(0), MhId(5), 0).unwrap()),
+        ),
+    ];
+    for (name, paper, measured) in cases {
+        t.push(vec![name.into(), paper.to_string(), measured.to_string()]);
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_primitive_matches_the_paper_exactly() {
+        let t = run();
+        for row in &t.rows {
+            assert_eq!(row[1], row[2], "{} diverged from the model", row[0]);
+        }
+        assert_eq!(t.rows.len(), 5);
+    }
+}

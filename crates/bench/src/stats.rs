@@ -1,0 +1,103 @@
+//! Multi-seed aggregation for experiment tables.
+//!
+//! Single seeded runs are deterministic but one-sided; the headline tables
+//! average each measurement over several seeds and report mean ± standard
+//! deviation so run-to-run spread is visible.
+
+use std::fmt;
+
+/// Mean, standard deviation and range of a set of samples.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Summary {
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Population standard deviation.
+    pub std: f64,
+    /// Smallest sample.
+    pub min: f64,
+    /// Largest sample.
+    pub max: f64,
+    /// Number of samples.
+    pub n: usize,
+}
+
+impl Summary {
+    /// Summarises the samples.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty sample set.
+    pub fn of(samples: &[f64]) -> Self {
+        assert!(!samples.is_empty(), "cannot summarise zero samples");
+        let n = samples.len();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n as f64;
+        let min = samples.iter().copied().fold(f64::INFINITY, f64::min);
+        let max = samples.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        Summary {
+            mean,
+            std: var.sqrt(),
+            min,
+            max,
+            n,
+        }
+    }
+
+    /// Relative spread `std/mean` (0 when the mean is 0).
+    pub fn cv(&self) -> f64 {
+        if self.mean == 0.0 {
+            0.0
+        } else {
+            self.std / self.mean.abs()
+        }
+    }
+}
+
+impl fmt::Display for Summary {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.2} ± {:.2}", self.mean, self.std)
+    }
+}
+
+/// Runs `f` for each seed and summarises the results.
+pub fn over_seeds(seeds: impl IntoIterator<Item = u64>, mut f: impl FnMut(u64) -> f64) -> Summary {
+    let samples: Vec<f64> = seeds.into_iter().map(&mut f).collect();
+    Summary::of(&samples)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn summary_of_constant_samples() {
+        let s = Summary::of(&[5.0, 5.0, 5.0]);
+        assert_eq!(s.mean, 5.0);
+        assert_eq!(s.std, 0.0);
+        assert_eq!((s.min, s.max, s.n), (5.0, 5.0, 3));
+        assert_eq!(s.cv(), 0.0);
+        assert_eq!(s.to_string(), "5.00 ± 0.00");
+    }
+
+    #[test]
+    fn summary_basic_statistics() {
+        let s = Summary::of(&[2.0, 4.0, 6.0, 8.0]);
+        assert_eq!(s.mean, 5.0);
+        assert!((s.std - 5.0f64.sqrt()).abs() < 1e-12);
+        assert_eq!(s.min, 2.0);
+        assert_eq!(s.max, 8.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "zero samples")]
+    fn empty_rejected() {
+        let _ = Summary::of(&[]);
+    }
+
+    #[test]
+    fn over_seeds_feeds_each_seed() {
+        let s = over_seeds(0..4, |seed| seed as f64);
+        assert_eq!(s.mean, 1.5);
+        assert_eq!(s.n, 4);
+    }
+}

@@ -1,0 +1,186 @@
+//! # mobidist-clock — Lamport logical clocks
+//!
+//! Lamport's logical clocks and the totally-ordered timestamps his mutual
+//! exclusion algorithm is built on (*Time, clocks and the ordering of events
+//! in a distributed system*, CACM 1978 — reference 11 of the paper).
+//!
+//! In algorithm **L2**, only messages exchanged *between MSSs* follow the
+//! timestamping rules; messages between an MH and an MSS are not
+//! timestamped. The MSS-side proxy owns a [`LamportClock`] and stamps
+//! requests on behalf of its mobile initiators.
+//!
+//! ## Example
+//!
+//! ```
+//! use mobidist_clock::{LamportClock, Timestamp};
+//!
+//! let mut a = LamportClock::new(0);
+//! let mut b = LamportClock::new(1);
+//! let t1 = a.tick();              // a sends
+//! let t2 = b.witness(t1);         // b receives
+//! assert!(t2 > t1);               // total order respects causality
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A totally-ordered Lamport timestamp: `(counter, process id)`.
+///
+/// Ordering compares the counter first and breaks ties with the process id,
+/// giving the total order Lamport's algorithm requires.
+///
+/// # Examples
+///
+/// ```
+/// use mobidist_clock::Timestamp;
+/// assert!(Timestamp::new(1, 9) < Timestamp::new(2, 0));
+/// assert!(Timestamp::new(2, 0) < Timestamp::new(2, 1));
+/// ```
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+)]
+pub struct Timestamp {
+    /// The logical counter value.
+    pub counter: u64,
+    /// The stamping process (tie-breaker).
+    pub process: u32,
+}
+
+impl Timestamp {
+    /// Creates a timestamp.
+    pub fn new(counter: u64, process: u32) -> Self {
+        Timestamp { counter, process }
+    }
+}
+
+impl fmt::Display for Timestamp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}.{}", self.counter, self.process)
+    }
+}
+
+/// A Lamport logical clock owned by one process.
+///
+/// # Examples
+///
+/// ```
+/// use mobidist_clock::LamportClock;
+/// let mut c = LamportClock::new(3);
+/// let t0 = c.tick();
+/// let t1 = c.tick();
+/// assert!(t1 > t0);
+/// assert_eq!(t1.process, 3);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct LamportClock {
+    counter: u64,
+    process: u32,
+}
+
+impl LamportClock {
+    /// Creates a clock for process `process`, starting at zero.
+    pub fn new(process: u32) -> Self {
+        LamportClock {
+            counter: 0,
+            process,
+        }
+    }
+
+    /// The owning process id.
+    pub fn process(&self) -> u32 {
+        self.process
+    }
+
+    /// Current timestamp without advancing the clock.
+    pub fn peek(&self) -> Timestamp {
+        Timestamp::new(self.counter, self.process)
+    }
+
+    /// Advances the clock for a local event or message send and returns the
+    /// new timestamp.
+    pub fn tick(&mut self) -> Timestamp {
+        self.counter += 1;
+        self.peek()
+    }
+
+    /// Merges a received timestamp per Lamport's rule
+    /// (`counter = max(local, received) + 1`) and returns the new local
+    /// timestamp.
+    pub fn witness(&mut self, received: Timestamp) -> Timestamp {
+        self.counter = self.counter.max(received.counter) + 1;
+        self.peek()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn tick_is_monotonic() {
+        let mut c = LamportClock::new(0);
+        let mut prev = c.peek();
+        for _ in 0..100 {
+            let t = c.tick();
+            assert!(t > prev);
+            prev = t;
+        }
+    }
+
+    #[test]
+    fn witness_respects_causality() {
+        let mut a = LamportClock::new(0);
+        let mut b = LamportClock::new(1);
+        for _ in 0..10 {
+            let sent = a.tick();
+            let recv = b.witness(sent);
+            assert!(recv > sent, "receive must be later than send");
+        }
+    }
+
+    #[test]
+    fn total_order_breaks_ties_by_process() {
+        let x = Timestamp::new(5, 1);
+        let y = Timestamp::new(5, 2);
+        assert!(x < y);
+        assert_eq!(x, Timestamp::new(5, 1));
+    }
+
+    #[test]
+    fn witness_of_stale_timestamp_still_advances() {
+        let mut a = LamportClock::new(0);
+        for _ in 0..10 {
+            a.tick();
+        }
+        let before = a.peek();
+        let t = a.witness(Timestamp::new(1, 7));
+        assert!(t > before);
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(Timestamp::new(4, 2).to_string(), "4.2");
+    }
+
+    proptest! {
+        #[test]
+        fn prop_witness_result_exceeds_both(local in 0u64..1000, recv in 0u64..1000) {
+            let mut c = LamportClock { counter: local, process: 0 };
+            let t = c.witness(Timestamp::new(recv, 1));
+            prop_assert!(t.counter > local);
+            prop_assert!(t.counter > recv);
+        }
+
+        #[test]
+        fn prop_timestamp_order_is_total(a in 0u64..50, pa in 0u32..8, b in 0u64..50, pb in 0u32..8) {
+            let x = Timestamp::new(a, pa);
+            let y = Timestamp::new(b, pb);
+            let consistent = (x < y) as u8 + (y < x) as u8 + (x == y) as u8;
+            prop_assert_eq!(consistent, 1);
+        }
+    }
+}

@@ -1,0 +1,355 @@
+//! **Algorithm L2** — Lamport's mutual exclusion shifted onto the static
+//! network (Section 3.1.1, the paper's redesign).
+//!
+//! The `M` MSSs maintain the request queues and exchange the timestamped
+//! `request`/`reply`/`release` messages *among themselves*; a mobile host
+//! participates with exactly three wireless messages per execution:
+//!
+//! 1. `init(h)` to its local MSS, which becomes its proxy and runs Lamport's
+//!    algorithm on its behalf (tagging messages with `h`);
+//! 2. the `grant-request` delivered to wherever `h` has moved (one search);
+//! 3. `release-resource` relayed via `h`'s *current* local MSS back to the
+//!    proxy, which then broadcasts `release`.
+//!
+//! Total cost per execution: `3·C_wireless + C_fixed + C_search +
+//! 3(M−1)·C_fixed` — constant in `N`.
+//!
+//! Disconnection handling follows the paper exactly: if `h` disconnects
+//! before the grant arrives, the search fails back to the proxy, which
+//! withdraws the request (broadcasting `release`); if `h` disconnects while
+//! *holding* the critical section, L2 requires it to reconnect and send
+//! `release-resource`, which this implementation does on the reconnect hook.
+
+use crate::algorithm::{AlgoCtx, MutexAlgorithm};
+use mobidist_clock::{LamportClock, Timestamp};
+use mobidist_net::ids::{MhId, MssId};
+use mobidist_net::proto::Src;
+use std::collections::{BTreeMap, BTreeSet};
+
+/// A queue entry: a request timestamped at its proxy on behalf of an MH.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub struct Entry {
+    /// Timestamp assigned when the proxy received `init`.
+    pub ts: Timestamp,
+    /// The proxy MSS that owns the request.
+    pub proxy: MssId,
+    /// The mobile initiator.
+    pub mh: MhId,
+}
+
+/// L2 protocol messages.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum L2Msg {
+    /// MH→MSS (wireless): begin an execution on my behalf.
+    Init,
+    /// MSS→MSS: timestamped request tagged with the initiating MH.
+    Request(Entry),
+    /// MSS→MSS: acknowledgement carrying the replier's clock.
+    Reply(Timestamp),
+    /// MSS→MSS: the tagged request has been satisfied/withdrawn.
+    Release(Timestamp, Entry),
+    /// Proxy→MH (searched): you hold the critical section.
+    GrantRequest {
+        /// The proxy to which `release-resource` must return.
+        proxy: MssId,
+    },
+    /// MH→MSS (wireless): I am done; relay to my proxy.
+    ReleaseResource {
+        /// The proxy that granted the request.
+        proxy: MssId,
+        /// The releasing MH.
+        mh: MhId,
+    },
+    /// MSS→proxy (fixed): relayed `release-resource`.
+    RelayRelease {
+        /// The releasing MH.
+        mh: MhId,
+    },
+}
+
+/// Per-MSS Lamport state.
+#[derive(Debug)]
+struct Station {
+    clock: LamportClock,
+    queue: BTreeSet<Entry>,
+    last_seen: BTreeMap<MssId, Timestamp>,
+    /// Requests this MSS proxies, by MH, with grant status.
+    owned: BTreeMap<MhId, (Entry, bool)>,
+}
+
+/// Lamport's algorithm at the MSS proxies. See the module docs.
+#[derive(Debug)]
+pub struct L2 {
+    stations: BTreeMap<MssId, Station>,
+    /// MHs that hold the CS but disconnected before releasing; they must
+    /// reconnect to send `release-resource`.
+    pending_release: BTreeMap<MhId, MssId>,
+}
+
+impl L2 {
+    /// Creates an instance for `m` MSSs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `m == 0`.
+    pub fn new(m: usize) -> Self {
+        assert!(m > 0, "L2 needs at least one MSS");
+        let stations = (0..m as u32)
+            .map(|i| {
+                (
+                    MssId(i),
+                    Station {
+                        clock: LamportClock::new(i),
+                        queue: BTreeSet::new(),
+                        last_seen: BTreeMap::new(),
+                        owned: BTreeMap::new(),
+                    },
+                )
+            })
+            .collect();
+        L2 {
+            stations,
+            pending_release: BTreeMap::new(),
+        }
+    }
+
+    /// Number of requests currently queued at `mss` (for tests).
+    pub fn queue_len(&self, mss: MssId) -> usize {
+        self.stations[&mss].queue.len()
+    }
+
+    fn note_seen(&mut self, me: MssId, from: MssId, ts: Timestamp) {
+        let s = self.stations.get_mut(&me).expect("known MSS");
+        let e = s.last_seen.entry(from).or_insert(ts);
+        if ts > *e {
+            *e = ts;
+        }
+    }
+
+    /// Grant check for every entry proxied by `me` (Lamport's condition over
+    /// the MSS set).
+    fn try_grant(&mut self, ctx: &mut AlgoCtx<'_, '_, L2Msg, ()>, me: MssId) {
+        let m = ctx.num_mss();
+        let grants: Vec<(MhId, Entry)> = {
+            let s = self.stations.get_mut(&me).expect("known MSS");
+            let Some(head) = s.queue.iter().next().copied() else {
+                return;
+            };
+            if head.proxy != me {
+                return;
+            }
+            let Some((entry, granted)) = s.owned.get(&head.mh).copied() else {
+                return;
+            };
+            if granted || entry != head {
+                return;
+            }
+            let all_later = (0..m as u32)
+                .map(MssId)
+                .filter(|o| *o != me)
+                .all(|o| s.last_seen.get(&o).is_some_and(|t| *t > entry.ts));
+            if !all_later {
+                return;
+            }
+            s.owned.insert(head.mh, (entry, true));
+            vec![(head.mh, entry)]
+        };
+        for (mh, entry) in grants {
+            // Locating the (possibly moved) initiator costs one search.
+            ctx.search_send(me, mh, L2Msg::GrantRequest { proxy: me });
+            let _ = entry;
+        }
+    }
+
+    /// Removes an entry everywhere it is queued at `me`.
+    fn drop_entry(&mut self, me: MssId, entry: Entry) {
+        let s = self.stations.get_mut(&me).expect("known MSS");
+        s.queue.remove(&entry);
+        if entry.proxy == me {
+            s.owned.remove(&entry.mh);
+        }
+    }
+
+    /// Proxy-side release: withdraw the entry and broadcast `Release`.
+    fn proxy_release(&mut self, ctx: &mut AlgoCtx<'_, '_, L2Msg, ()>, proxy: MssId, mh: MhId) {
+        let Some((entry, _)) = self
+            .stations
+            .get_mut(&proxy)
+            .expect("known MSS")
+            .owned
+            .get(&mh)
+            .copied()
+        else {
+            return;
+        };
+        self.drop_entry(proxy, entry);
+        let ts = self
+            .stations
+            .get_mut(&proxy)
+            .expect("known MSS")
+            .clock
+            .tick();
+        ctx.broadcast_fixed(proxy, || L2Msg::Release(ts, entry));
+        self.try_grant(ctx, proxy);
+    }
+}
+
+impl MutexAlgorithm for L2 {
+    type Msg = L2Msg;
+    type Timer = ();
+
+    fn name(&self) -> &'static str {
+        "L2"
+    }
+
+    fn request(&mut self, ctx: &mut AlgoCtx<'_, '_, L2Msg, ()>, mh: MhId) {
+        // The MH's entire contribution: one wireless init.
+        let _ = ctx.send_wireless_up(mh, L2Msg::Init);
+    }
+
+    fn release(&mut self, ctx: &mut AlgoCtx<'_, '_, L2Msg, ()>, mh: MhId) {
+        let proxy = self
+            .stations
+            .iter()
+            .find_map(|(m, s)| s.owned.get(&mh).and_then(|(_, g)| g.then_some(*m)));
+        let Some(proxy) = proxy else { return };
+        match ctx.send_wireless_up(mh, L2Msg::ReleaseResource { proxy, mh }) {
+            Ok(()) => {}
+            Err(_) => {
+                // Disconnected while holding: the paper requires the MH to
+                // reconnect to send release-resource.
+                self.pending_release.insert(mh, proxy);
+            }
+        }
+    }
+
+    fn on_mss_msg(&mut self, ctx: &mut AlgoCtx<'_, '_, L2Msg, ()>, at: MssId, src: Src, msg: L2Msg) {
+        match msg {
+            L2Msg::Init => {
+                let mh = src.as_mh().expect("init arrives on the uplink");
+                // Timestamp the request on behalf of the MH.
+                let ts = self.stations.get_mut(&at).expect("known MSS").clock.tick();
+                let entry = Entry { ts, proxy: at, mh };
+                {
+                    let s = self.stations.get_mut(&at).expect("known MSS");
+                    s.queue.insert(entry);
+                    s.owned.insert(mh, (entry, false));
+                }
+                ctx.broadcast_fixed(at, || L2Msg::Request(entry));
+                self.try_grant(ctx, at);
+            }
+            L2Msg::Request(entry) => {
+                let from = src.as_mss().expect("requests travel MSS to MSS");
+                self.note_seen(at, from, entry.ts);
+                {
+                    let s = self.stations.get_mut(&at).expect("known MSS");
+                    s.clock.witness(entry.ts);
+                    s.queue.insert(entry);
+                }
+                let reply_ts = self.stations.get_mut(&at).expect("known MSS").clock.tick();
+                ctx.send_fixed(at, from, L2Msg::Reply(reply_ts));
+            }
+            L2Msg::Reply(ts) => {
+                let from = src.as_mss().expect("replies travel MSS to MSS");
+                self.note_seen(at, from, ts);
+                self.stations
+                    .get_mut(&at)
+                    .expect("known MSS")
+                    .clock
+                    .witness(ts);
+                self.try_grant(ctx, at);
+            }
+            L2Msg::Release(ts, entry) => {
+                let from = src.as_mss().expect("releases travel MSS to MSS");
+                self.note_seen(at, from, ts);
+                self.stations
+                    .get_mut(&at)
+                    .expect("known MSS")
+                    .clock
+                    .witness(ts);
+                self.drop_entry(at, entry);
+                self.try_grant(ctx, at);
+            }
+            L2Msg::ReleaseResource { proxy, mh } => {
+                // Arrived on the uplink at the MH's *current* MSS.
+                if proxy == at {
+                    self.proxy_release(ctx, proxy, mh);
+                } else {
+                    ctx.send_fixed(at, proxy, L2Msg::RelayRelease { mh });
+                }
+            }
+            L2Msg::RelayRelease { mh } => {
+                self.proxy_release(ctx, at, mh);
+            }
+            L2Msg::GrantRequest { .. } => {
+                unreachable!("grants are delivered to MHs, not MSSs");
+            }
+        }
+    }
+
+    fn on_mh_msg(&mut self, ctx: &mut AlgoCtx<'_, '_, L2Msg, ()>, at: MhId, _src: Src, msg: L2Msg) {
+        match msg {
+            L2Msg::GrantRequest { proxy } => {
+                let entry = self.stations[&proxy]
+                    .owned
+                    .get(&at)
+                    .map(|(e, _)| *e)
+                    .expect("grant implies an owned entry");
+                let key = entry.ts.counter << 16 | u64::from(entry.ts.process & 0xFFFF);
+                ctx.grant_with_key(at, key);
+            }
+            other => unreachable!("unexpected message at an MH: {other:?}"),
+        }
+    }
+
+    fn on_search_failed(
+        &mut self,
+        ctx: &mut AlgoCtx<'_, '_, L2Msg, ()>,
+        origin: MssId,
+        target: MhId,
+        msg: L2Msg,
+    ) {
+        if let L2Msg::GrantRequest { proxy } = msg {
+            debug_assert_eq!(origin, proxy);
+            // The initiator is unreachable: withdraw its request so the rest
+            // of the system makes progress.
+            self.proxy_release(ctx, proxy, target);
+            ctx.abort(target);
+        }
+    }
+
+    fn on_mh_reconnected(&mut self, ctx: &mut AlgoCtx<'_, '_, L2Msg, ()>, mh: MhId, _mss: MssId) {
+        if let Some(proxy) = self.pending_release.remove(&mh) {
+            let _ = ctx.send_wireless_up(mh, L2Msg::ReleaseResource { proxy, mh });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn entries_order_by_timestamp_then_proxy() {
+        let a = Entry { ts: Timestamp::new(1, 0), proxy: MssId(9), mh: MhId(0) };
+        let b = Entry { ts: Timestamp::new(2, 0), proxy: MssId(0), mh: MhId(1) };
+        let c = Entry { ts: Timestamp::new(2, 1), proxy: MssId(0), mh: MhId(2) };
+        assert!(a < b, "smaller timestamp wins regardless of proxy");
+        assert!(b < c, "process id breaks timestamp ties");
+    }
+
+    #[test]
+    fn fresh_instance_has_empty_queues() {
+        let l2 = L2::new(3);
+        for i in 0..3u32 {
+            assert_eq!(l2.queue_len(MssId(i)), 0);
+        }
+        assert_eq!(l2.name(), "L2");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one MSS")]
+    fn zero_stations_rejected() {
+        let _ = L2::new(0);
+    }
+}

@@ -1,0 +1,87 @@
+//! # mobidist-cost — the paper's closed-form cost formulas
+//!
+//! Every cost expression derived in *"Structuring Distributed Algorithms
+//! for Mobile Hosts"* (ICDCS 1994), implemented verbatim so experiments can
+//! print **paper-predicted vs simulator-measured** side by side.
+//!
+//! All formulas are parameterised by the cost model `(C_fixed, C_wireless,
+//! C_search)` of Section 2. Functions return abstract cost units; energy
+//! functions return wireless-operation counts (the paper's proportional
+//! battery measure).
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod group;
+pub mod mutex;
+
+pub use group::{
+    always_inform_effective, location_view_effective, location_view_update_bound,
+    pure_search_effective,
+};
+pub use mutex::{
+    l1_energy_initiator, l1_energy_total, l1_execution_cost, l2_execution_cost, l2_wireless_msgs,
+    r1_energy_per_traversal, r1_traversal_cost, r2_cost, r2_max_requests_per_traversal,
+    r2_wireless_ops_per_request,
+};
+
+/// The `(C_fixed, C_wireless, C_search)` parameter triple.
+///
+/// Mirrors `mobidist_net::cost::CostModel` without depending on the
+/// simulator crate, so the analytic layer stands alone.
+///
+/// # Examples
+///
+/// ```
+/// use mobidist_cost::Params;
+/// let p = Params { c_fixed: 1, c_wireless: 10, c_search: 5 };
+/// assert_eq!(p.mh_to_mh(), 25);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Params {
+    /// Cost of one fixed-network message.
+    pub c_fixed: u64,
+    /// Cost of one wireless message.
+    pub c_wireless: u64,
+    /// Cost of one search (locate + forward).
+    pub c_search: u64,
+}
+
+impl Params {
+    /// Cost of one MH→MH message: `2·C_wireless + C_search` (Section 2).
+    pub fn mh_to_mh(&self) -> u64 {
+        2 * self.c_wireless + self.c_search
+    }
+
+    /// Cost of one MSS→non-local-MH message: `C_search + C_wireless`.
+    pub fn mss_to_remote_mh(&self) -> u64 {
+        self.c_search + self.c_wireless
+    }
+}
+
+impl Default for Params {
+    /// Matches `mobidist_net::cost::CostModel::default()`.
+    fn default() -> Self {
+        Params {
+            c_fixed: 1,
+            c_wireless: 10,
+            c_search: 5,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn derived_message_costs() {
+        let p = Params {
+            c_fixed: 2,
+            c_wireless: 7,
+            c_search: 3,
+        };
+        assert_eq!(p.mh_to_mh(), 17);
+        assert_eq!(p.mss_to_remote_mh(), 10);
+    }
+}

@@ -1,0 +1,82 @@
+//! **Pure search** (Section 4.1): no location information is maintained.
+//!
+//! Each member only knows the membership list. A group message is sent as
+//! `|G| − 1` separate point-to-point MH→MH messages, each incurring a search:
+//! cost `(|G|−1)(2·C_wireless + C_search)` per group message, *independent of
+//! mobility* — moves cost nothing, every send pays the full search price.
+
+use crate::strategy::{GroupCtx, LocationStrategy};
+use mobidist_net::ids::{MhId, MssId};
+use mobidist_net::proto::Src;
+
+/// Pure-search protocol messages.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PsMsg {
+    /// A group message payload, searched to each member individually.
+    Group {
+        /// The group message id.
+        msg_id: u64,
+    },
+}
+
+/// The pure-search strategy. See the module docs.
+#[derive(Debug)]
+pub struct PureSearch {
+    members: Vec<MhId>,
+}
+
+impl PureSearch {
+    /// Creates the strategy over the given membership list.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `members` is empty.
+    pub fn new(members: Vec<MhId>) -> Self {
+        assert!(!members.is_empty(), "a group needs members");
+        PureSearch { members }
+    }
+}
+
+impl LocationStrategy for PureSearch {
+    type Msg = PsMsg;
+    type Timer = ();
+
+    fn name(&self) -> &'static str {
+        "pure-search"
+    }
+
+    fn send_group_message(
+        &mut self,
+        ctx: &mut GroupCtx<'_, '_, PsMsg, ()>,
+        from: MhId,
+        msg_id: u64,
+    ) {
+        for m in self.members.clone() {
+            if m != from {
+                // One wireless up + search + wireless down per member.
+                let _ = ctx.mh_send_to_mh(from, m, PsMsg::Group { msg_id });
+            }
+        }
+    }
+
+    fn on_mss_msg(&mut self, _: &mut GroupCtx<'_, '_, PsMsg, ()>, _: MssId, _: Src, _: PsMsg) {
+        unreachable!("pure search never addresses a fixed host directly");
+    }
+
+    fn on_mh_msg(&mut self, ctx: &mut GroupCtx<'_, '_, PsMsg, ()>, at: MhId, _: Src, msg: PsMsg) {
+        let PsMsg::Group { msg_id } = msg;
+        ctx.deliver(at, msg_id);
+    }
+
+    fn on_search_failed(
+        &mut self,
+        ctx: &mut GroupCtx<'_, '_, PsMsg, ()>,
+        _origin: MssId,
+        _target: MhId,
+        _msg: PsMsg,
+    ) {
+        // The member is disconnected: the copy is dropped (audited as a miss
+        // only if the member was connected at send time).
+        ctx.bump("ps_undeliverable");
+    }
+}

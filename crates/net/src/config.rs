@@ -1,0 +1,187 @@
+//! Simulation configuration.
+
+use crate::cost::{CostModel, EnergyModel};
+use crate::latency::LatencyModel;
+use crate::mobility::{DisconnectConfig, MobilityConfig};
+use crate::search::SearchPolicy;
+use serde::{Deserialize, Serialize};
+
+/// Per-channel-class latency distributions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LatencyConfig {
+    /// Wired MSS↔MSS latency.
+    pub fixed: LatencyModel,
+    /// Wireless MH↔MSS latency.
+    pub wireless: LatencyModel,
+    /// Latency of an oracle search (locate + forward to the current MSS).
+    pub search: LatencyModel,
+}
+
+impl Default for LatencyConfig {
+    fn default() -> Self {
+        LatencyConfig {
+            fixed: LatencyModel::Fixed(5),
+            wireless: LatencyModel::Fixed(2),
+            search: LatencyModel::Fixed(12),
+        }
+    }
+}
+
+/// How MHs are placed into cells at simulation start.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum Placement {
+    /// MH `i` starts in cell `i mod M`.
+    #[default]
+    RoundRobin,
+    /// Uniformly random initial cell.
+    Random,
+    /// All MHs packed into the first `cells` cells (localised groups).
+    Clustered {
+        /// Number of initial cells used.
+        cells: usize,
+    },
+}
+
+/// Complete description of a two-tier network instance.
+///
+/// The paper's population assumption is `N ≫ M`: many mobile hosts, fewer
+/// but more powerful fixed hosts.
+///
+/// # Examples
+///
+/// ```
+/// use mobidist_net::config::NetworkConfig;
+/// let cfg = NetworkConfig::new(8, 64).with_seed(7);
+/// assert_eq!(cfg.num_mss, 8);
+/// assert_eq!(cfg.num_mh, 64);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct NetworkConfig {
+    /// Number of mobile support stations, `M`.
+    pub num_mss: usize,
+    /// Number of mobile hosts, `N`.
+    pub num_mh: usize,
+    /// The paper's message-cost parameters.
+    pub cost: CostModel,
+    /// Battery-energy parameters at MHs.
+    pub energy: EnergyModel,
+    /// Latency distributions per channel class.
+    pub latency: LatencyConfig,
+    /// How MHs are located (`C_search` abstraction or flooding).
+    pub search: SearchPolicy,
+    /// Autonomous mobility process.
+    pub mobility: MobilityConfig,
+    /// Autonomous disconnection process.
+    pub disconnect: DisconnectConfig,
+    /// Initial placement of MHs into cells.
+    pub placement: Placement,
+    /// Whether a `join()` carries the id of the previous MSS (required by the
+    /// location-view protocol of Section 4; part of the handoff).
+    pub supply_prev_on_join: bool,
+    /// Root seed; fully determines the run.
+    pub seed: u64,
+}
+
+impl NetworkConfig {
+    /// A configuration with `m` MSSs and `n` MHs and defaults elsewhere.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `m == 0` or `n == 0`.
+    pub fn new(m: usize, n: usize) -> Self {
+        assert!(m > 0, "at least one MSS is required");
+        assert!(n > 0, "at least one MH is required");
+        NetworkConfig {
+            num_mss: m,
+            num_mh: n,
+            cost: CostModel::default(),
+            energy: EnergyModel::default(),
+            latency: LatencyConfig::default(),
+            search: SearchPolicy::default(),
+            mobility: MobilityConfig::default(),
+            disconnect: DisconnectConfig::default(),
+            placement: Placement::default(),
+            supply_prev_on_join: true,
+            seed: 0,
+        }
+    }
+
+    /// Replaces the seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Replaces the cost model.
+    pub fn with_cost(mut self, cost: CostModel) -> Self {
+        self.cost = cost;
+        self
+    }
+
+    /// Replaces the search policy.
+    pub fn with_search(mut self, search: SearchPolicy) -> Self {
+        self.search = search;
+        self
+    }
+
+    /// Replaces the mobility process.
+    pub fn with_mobility(mut self, mobility: MobilityConfig) -> Self {
+        self.mobility = mobility;
+        self
+    }
+
+    /// Replaces the disconnection process.
+    pub fn with_disconnect(mut self, disconnect: DisconnectConfig) -> Self {
+        self.disconnect = disconnect;
+        self
+    }
+
+    /// Replaces the initial placement.
+    pub fn with_placement(mut self, placement: Placement) -> Self {
+        self.placement = placement;
+        self
+    }
+
+    /// Replaces the latency configuration.
+    pub fn with_latency(mut self, latency: LatencyConfig) -> Self {
+        self.latency = latency;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_chain() {
+        let cfg = NetworkConfig::new(4, 10)
+            .with_seed(9)
+            .with_search(SearchPolicy::Flood)
+            .with_placement(Placement::Clustered { cells: 2 });
+        assert_eq!(cfg.seed, 9);
+        assert_eq!(cfg.search, SearchPolicy::Flood);
+        assert_eq!(cfg.placement, Placement::Clustered { cells: 2 });
+        assert!(cfg.supply_prev_on_join);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one MSS")]
+    fn rejects_zero_mss() {
+        let _ = NetworkConfig::new(0, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one MH")]
+    fn rejects_zero_mh() {
+        let _ = NetworkConfig::new(1, 0);
+    }
+
+    #[test]
+    fn defaults_are_static_network() {
+        let cfg = NetworkConfig::new(2, 2);
+        assert!(!cfg.mobility.enabled);
+        assert!(!cfg.disconnect.enabled);
+        assert_eq!(cfg.placement, Placement::RoundRobin);
+    }
+}

@@ -1,0 +1,150 @@
+//! The paper's cost model.
+//!
+//! Section 2 assigns a cost to each kind of message:
+//!
+//! * `C_fixed` — point-to-point message between any two fixed hosts,
+//! * `C_wireless` — message between an MH and its local MSS (either
+//!   direction),
+//! * `C_search` — locating an MH and forwarding a message to its current
+//!   local MSS (always `>= C_fixed`; worst case the source MSS contacts each
+//!   of the other `M - 1` MSSs).
+//!
+//! Derived costs follow the paper: an MH→MH message costs
+//! `2·C_wireless + C_search`; an MSS→non-local-MH message costs
+//! `C_search + C_wireless`.
+//!
+//! Battery consumption at MHs is modelled separately by [`EnergyModel`]: the
+//! paper argues energy use is proportional to the number of wireless
+//! transmissions and receptions at the MH.
+
+use serde::{Deserialize, Serialize};
+
+/// Per-message-class cost parameters (`C_fixed`, `C_wireless`, `C_search`).
+///
+/// The defaults reflect the paper's qualitative assumptions: wireless
+/// bandwidth "an order of magnitude lower than wired links" (so a wireless
+/// message is an order of magnitude more expensive) and `C_search > C_fixed`.
+///
+/// # Examples
+///
+/// ```
+/// use mobidist_net::cost::CostModel;
+/// let c = CostModel::default();
+/// assert!(c.c_search >= c.c_fixed);
+/// assert_eq!(c.mh_to_mh(), 2 * c.c_wireless + c.c_search);
+/// assert_eq!(c.mss_to_remote_mh(), c.c_search + c.c_wireless);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct CostModel {
+    /// Cost of a point-to-point message between two fixed hosts.
+    pub c_fixed: u64,
+    /// Cost of a message over a wireless channel (MH↔local MSS).
+    pub c_wireless: u64,
+    /// Cost of locating an MH and forwarding a message to its current local
+    /// MSS (used by the [`Oracle`](crate::search::SearchPolicy::Oracle)
+    /// search policy; the `Flood` policy derives its cost from real control
+    /// messages instead).
+    pub c_search: u64,
+}
+
+impl CostModel {
+    /// Creates a cost model after validating the paper's constraint
+    /// `c_search >= c_fixed`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `c_search < c_fixed`, which the paper's model rules out.
+    pub fn new(c_fixed: u64, c_wireless: u64, c_search: u64) -> Self {
+        assert!(
+            c_search >= c_fixed,
+            "the system model requires C_search >= C_fixed ({c_search} < {c_fixed})"
+        );
+        CostModel {
+            c_fixed,
+            c_wireless,
+            c_search,
+        }
+    }
+
+    /// Cost of one MH→MH message: `2·C_wireless + C_search`.
+    pub fn mh_to_mh(&self) -> u64 {
+        2 * self.c_wireless + self.c_search
+    }
+
+    /// Cost of one MSS→non-local-MH message: `C_search + C_wireless`.
+    pub fn mss_to_remote_mh(&self) -> u64 {
+        self.c_search + self.c_wireless
+    }
+}
+
+impl Default for CostModel {
+    /// `C_fixed = 1`, `C_wireless = 10`, `C_search = 5`.
+    fn default() -> Self {
+        CostModel {
+            c_fixed: 1,
+            c_wireless: 10,
+            c_search: 5,
+        }
+    }
+}
+
+/// Battery-energy parameters for mobile hosts.
+///
+/// Energy is charged per wireless operation *at the MH only* — fixed hosts
+/// are mains-powered in the paper's model. The paper treats transmit and
+/// receive as equally expensive ("transmission and reception of messages on
+/// the wireless link consumes power"); distinct weights are provided because
+/// real radios differ.
+///
+/// # Examples
+///
+/// ```
+/// use mobidist_net::cost::EnergyModel;
+/// let e = EnergyModel::default();
+/// assert!(e.tx > 0 && e.rx > 0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct EnergyModel {
+    /// Energy units consumed by one wireless transmission at an MH.
+    pub tx: u64,
+    /// Energy units consumed by one wireless reception at an MH.
+    pub rx: u64,
+}
+
+impl Default for EnergyModel {
+    /// One unit per operation in either direction, matching the paper's
+    /// proportional accounting.
+    fn default() -> Self {
+        EnergyModel { tx: 1, rx: 1 }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_respects_model_constraint() {
+        let c = CostModel::default();
+        assert!(c.c_search >= c.c_fixed);
+        assert!(c.c_wireless > c.c_fixed, "wireless should dominate wired");
+    }
+
+    #[test]
+    fn derived_costs_match_paper() {
+        let c = CostModel::new(1, 7, 4);
+        assert_eq!(c.mh_to_mh(), 18);
+        assert_eq!(c.mss_to_remote_mh(), 11);
+    }
+
+    #[test]
+    #[should_panic(expected = "C_search >= C_fixed")]
+    fn rejects_cheap_search() {
+        let _ = CostModel::new(10, 1, 5);
+    }
+
+    #[test]
+    fn energy_default() {
+        assert_eq!(EnergyModel::default(), EnergyModel { tx: 1, rx: 1 });
+    }
+}

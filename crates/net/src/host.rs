@@ -1,0 +1,141 @@
+//! Runtime state of hosts.
+//!
+//! Each MSS keeps the list of MHs local to its cell plus the "disconnected"
+//! flags required by the model: when an MH disconnects, its last MSS marks it
+//! so that a later search can be answered with the disconnected status.
+
+use crate::ids::{MhId, MssId};
+use std::collections::{BTreeSet, VecDeque};
+
+/// An uplink message buffered while its sender is between cells.
+#[derive(Debug, Clone)]
+pub enum OutMsg<M> {
+    /// A plain uplink payload for the (next) local MSS.
+    Plain(M),
+    /// An MH→MH payload that the local MSS must search-forward, carrying its
+    /// logical-FIFO sequence number.
+    ToMh {
+        /// Final destination.
+        dst: MhId,
+        /// Per-pair sequence number assigned at send time.
+        seq: u64,
+        /// Payload.
+        msg: M,
+    },
+}
+
+/// Connectivity status of a mobile host.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum MhStatus {
+    /// Attached to a cell and reachable.
+    Connected,
+    /// Has sent `leave(r)` and not yet joined a new cell.
+    BetweenCells,
+    /// Has sent `disconnect(r)`; may reconnect later.
+    Disconnected,
+}
+
+/// Per-MH kernel state.
+#[derive(Debug, Clone)]
+pub struct MhState<M> {
+    /// Current cell, when connected.
+    pub cell: Option<MssId>,
+    /// Connectivity status.
+    pub status: MhStatus,
+    /// Whether the MH is in doze mode (deliveries still succeed but count as
+    /// interruptions).
+    pub dozing: bool,
+    /// Incremented on every leave/disconnect; wireless downlink deliveries
+    /// carry the epoch they were sent under and are dropped when stale
+    /// (prefix-delivery semantics).
+    pub epoch: u64,
+    /// The id of the cell the MH most recently left (supplied with `join()`
+    /// / `reconnect()` when the configuration says so).
+    pub prev_cell: Option<MssId>,
+    /// Home base cell for locality-biased mobility.
+    pub home: MssId,
+    /// MSS holding this MH's "disconnected" flag, if disconnected.
+    pub disconnected_at: Option<MssId>,
+    /// Uplink messages issued while between cells, flushed on join.
+    pub outbox: VecDeque<OutMsg<M>>,
+    /// Messages received on the current cell's downlink (the `r` of
+    /// `leave(r)`).
+    pub down_received: u64,
+    /// Messages sent on the current cell's downlink.
+    pub down_sent: u64,
+}
+
+impl<M> MhState<M> {
+    /// A freshly-connected MH in `cell` with the given home base.
+    pub fn new(cell: MssId, home: MssId) -> Self {
+        MhState {
+            cell: Some(cell),
+            status: MhStatus::Connected,
+            dozing: false,
+            epoch: 0,
+            prev_cell: None,
+            home,
+            disconnected_at: None,
+            outbox: VecDeque::new(),
+            down_received: 0,
+            down_sent: 0,
+        }
+    }
+
+    /// True when attached to a cell.
+    pub fn is_connected(&self) -> bool {
+        self.status == MhStatus::Connected
+    }
+}
+
+/// Per-MSS kernel state.
+#[derive(Debug, Clone, Default)]
+pub struct MssState {
+    /// MHs that have identified themselves with this MSS (the paper's list
+    /// of local MH ids).
+    pub local: BTreeSet<MhId>,
+    /// MHs whose "disconnected" flag is set at this MSS.
+    pub disconnected_here: BTreeSet<MhId>,
+}
+
+impl MssState {
+    /// True when `mh` is local to this cell.
+    pub fn has_local(&self, mh: MhId) -> bool {
+        self.local.contains(&mh)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn new_mh_is_connected() {
+        let h: MhState<()> = MhState::new(MssId(2), MssId(2));
+        assert!(h.is_connected());
+        assert_eq!(h.cell, Some(MssId(2)));
+        assert_eq!(h.epoch, 0);
+        assert!(h.outbox.is_empty());
+    }
+
+    #[test]
+    fn status_transitions_affect_is_connected() {
+        let mut h: MhState<()> = MhState::new(MssId(0), MssId(0));
+        h.status = MhStatus::BetweenCells;
+        assert!(!h.is_connected());
+        h.status = MhStatus::Disconnected;
+        assert!(!h.is_connected());
+    }
+
+    #[test]
+    fn mss_local_list() {
+        let mut m = MssState::default();
+        assert!(!m.has_local(MhId(1)));
+        m.local.insert(MhId(1));
+        assert!(m.has_local(MhId(1)));
+        m.local.remove(&MhId(1));
+        m.disconnected_here.insert(MhId(1));
+        assert!(!m.has_local(MhId(1)));
+        assert!(m.disconnected_here.contains(&MhId(1)));
+    }
+}

@@ -1,0 +1,194 @@
+//! Strongly-typed identifiers for the entities of the two-tier system model.
+//!
+//! The paper's model has two kinds of hosts: *mobile support stations* (MSSs,
+//! the fixed hosts of the wired network) and *mobile hosts* (MHs) that attach
+//! to one cell — one MSS — at a time. Newtypes keep the two id spaces from
+//! being confused at compile time ([C-NEWTYPE]).
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Identifier of a mobile support station (fixed host).
+///
+/// MSSs are numbered densely from `0..M`; the numbering doubles as the ring
+/// order used by the token-ring algorithms.
+///
+/// # Examples
+///
+/// ```
+/// use mobidist_net::ids::MssId;
+/// let m = MssId(3);
+/// assert_eq!(m.index(), 3);
+/// assert_eq!(m.to_string(), "mss3");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct MssId(pub u32);
+
+impl MssId {
+    /// The id as a dense `usize` index into per-MSS tables.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for MssId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "mss{}", self.0)
+    }
+}
+
+impl From<u32> for MssId {
+    fn from(v: u32) -> Self {
+        MssId(v)
+    }
+}
+
+/// Identifier of a mobile host.
+///
+/// MHs are numbered densely from `0..N`.
+///
+/// # Examples
+///
+/// ```
+/// use mobidist_net::ids::MhId;
+/// let h = MhId(17);
+/// assert_eq!(h.index(), 17);
+/// assert_eq!(h.to_string(), "mh17");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct MhId(pub u32);
+
+impl MhId {
+    /// The id as a dense `usize` index into per-MH tables.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for MhId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "mh{}", self.0)
+    }
+}
+
+impl From<u32> for MhId {
+    fn from(v: u32) -> Self {
+        MhId(v)
+    }
+}
+
+/// Identifier of a process group of mobile hosts (Section 4 of the paper).
+///
+/// # Examples
+///
+/// ```
+/// use mobidist_net::ids::GroupId;
+/// assert_eq!(GroupId(1).to_string(), "grp1");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct GroupId(pub u32);
+
+impl fmt::Display for GroupId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "grp{}", self.0)
+    }
+}
+
+/// Either kind of host — the source or destination of a message.
+///
+/// # Examples
+///
+/// ```
+/// use mobidist_net::ids::{Endpoint, MhId, MssId};
+/// let e = Endpoint::Mh(MhId(2));
+/// assert!(e.as_mh().is_some());
+/// assert!(Endpoint::Mss(MssId(0)).as_mss().is_some());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum Endpoint {
+    /// A fixed host / mobile support station.
+    Mss(MssId),
+    /// A mobile host.
+    Mh(MhId),
+}
+
+impl Endpoint {
+    /// Returns the MSS id if this endpoint is a fixed host.
+    pub fn as_mss(self) -> Option<MssId> {
+        match self {
+            Endpoint::Mss(m) => Some(m),
+            Endpoint::Mh(_) => None,
+        }
+    }
+
+    /// Returns the MH id if this endpoint is a mobile host.
+    pub fn as_mh(self) -> Option<MhId> {
+        match self {
+            Endpoint::Mh(h) => Some(h),
+            Endpoint::Mss(_) => None,
+        }
+    }
+}
+
+impl fmt::Display for Endpoint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Endpoint::Mss(m) => m.fmt(f),
+            Endpoint::Mh(h) => h.fmt(f),
+        }
+    }
+}
+
+impl From<MssId> for Endpoint {
+    fn from(m: MssId) -> Self {
+        Endpoint::Mss(m)
+    }
+}
+
+impl From<MhId> for Endpoint {
+    fn from(h: MhId) -> Self {
+        Endpoint::Mh(h)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::BTreeSet;
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(MssId(0).to_string(), "mss0");
+        assert_eq!(MhId(41).to_string(), "mh41");
+        assert_eq!(GroupId(7).to_string(), "grp7");
+        assert_eq!(Endpoint::Mh(MhId(1)).to_string(), "mh1");
+        assert_eq!(Endpoint::Mss(MssId(2)).to_string(), "mss2");
+    }
+
+    #[test]
+    fn index_round_trip() {
+        assert_eq!(MssId(9).index(), 9);
+        assert_eq!(MhId(123).index(), 123);
+        assert_eq!(MssId::from(4u32), MssId(4));
+        assert_eq!(MhId::from(4u32), MhId(4));
+    }
+
+    #[test]
+    fn endpoint_projections() {
+        assert_eq!(Endpoint::Mss(MssId(1)).as_mss(), Some(MssId(1)));
+        assert_eq!(Endpoint::Mss(MssId(1)).as_mh(), None);
+        assert_eq!(Endpoint::Mh(MhId(2)).as_mh(), Some(MhId(2)));
+        assert_eq!(Endpoint::Mh(MhId(2)).as_mss(), None);
+        assert_eq!(Endpoint::from(MssId(3)), Endpoint::Mss(MssId(3)));
+        assert_eq!(Endpoint::from(MhId(3)), Endpoint::Mh(MhId(3)));
+    }
+
+    #[test]
+    fn ids_are_ordered_and_hashable() {
+        let set: BTreeSet<MhId> = [MhId(3), MhId(1), MhId(2)].into_iter().collect();
+        let v: Vec<_> = set.into_iter().collect();
+        assert_eq!(v, vec![MhId(1), MhId(2), MhId(3)]);
+    }
+}

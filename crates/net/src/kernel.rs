@@ -1,0 +1,850 @@
+//! The simulation kernel: message plane, mobility orchestration, cost
+//! accounting.
+//!
+//! The kernel realises Section 2 of the paper:
+//!
+//! * a wired plane of `M` MSSs with reliable, FIFO, arbitrary-latency
+//!   channels;
+//! * per-cell wireless FIFO channels with *prefix delivery* — when an MH
+//!   leaves, messages still in flight on its downlink are lost;
+//! * `join`/`leave`/`disconnect`/`reconnect` choreography, with the previous
+//!   MSS id supplied on join (handoff support);
+//! * a search service that locates an MH and forwards a message, re-searching
+//!   as the MH moves, and reporting disconnection back to the origin;
+//! * a [`CostLedger`] charging every operation per the paper's cost model.
+//!
+//! Mobility-signalling messages (`leave`, `join`, `disconnect`, `reconnect`,
+//! handoff queries) are charged to dedicated `control_*` custom counters
+//! rather than to the main message counters, so experiments measure exactly
+//! what the paper's formulas measure: the messages of the *algorithm* under
+//! study.
+
+use crate::channel::{ChainKey, FifoChains, ReorderBuffers};
+use crate::config::{NetworkConfig, Placement};
+use crate::error::NetError;
+use crate::event::EventQueue;
+use crate::host::{MhState, MhStatus, MssState, OutMsg};
+use crate::ids::{MhId, MssId};
+use crate::ledger::CostLedger;
+use crate::proto::{ProtoEvent, Src};
+use crate::rng::SimRng;
+use crate::search::SearchPolicy;
+use crate::time::SimTime;
+use crate::trace::Trace;
+use std::collections::VecDeque;
+use std::fmt::Debug;
+
+/// How a wireless downlink delivery is routed, which determines what happens
+/// if the MH has left the cell by delivery time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum DownMode {
+    /// Plain local send: loss is surfaced to the protocol.
+    Local,
+    /// Search-routed from `origin`: the kernel re-searches on loss (the
+    /// model's eventual-delivery guarantee).
+    Searched { origin: MssId },
+    /// MH→MH transport: search-routed plus end-to-end FIFO resequencing.
+    FromMh { origin: MssId, src: MhId, seq: u64 },
+}
+
+impl DownMode {
+    fn src_for(&self, serving: MssId) -> Src {
+        match *self {
+            DownMode::Local => Src::Mss(serving),
+            DownMode::Searched { origin } => Src::Mss(origin),
+            DownMode::FromMh { src, .. } => Src::Mh(src),
+        }
+    }
+}
+
+/// Internal timed events.
+#[derive(Debug)]
+enum Ev<M, T> {
+    FixedDeliver {
+        from: MssId,
+        to: MssId,
+        msg: M,
+    },
+    UpDeliver {
+        mh: MhId,
+        mss: MssId,
+        msg: M,
+    },
+    /// An uplinked MH→MH message reached the serving MSS, which now
+    /// search-forwards it to the destination MH.
+    RelayMhMh {
+        at: MssId,
+        src: MhId,
+        dst: MhId,
+        seq: u64,
+        msg: M,
+    },
+    DownDeliver {
+        mss: MssId,
+        mh: MhId,
+        epoch: u64,
+        mode: DownMode,
+        msg: M,
+    },
+    /// A search-forwarded message arrived at the MSS believed to serve the
+    /// target.
+    SearchArrive {
+        target: MhId,
+        at: MssId,
+        mode: DownMode,
+        msg: M,
+    },
+    /// Notification headed back to the origin MSS that the search target is
+    /// disconnected.
+    SearchFail {
+        origin: MssId,
+        target: MhId,
+        msg: M,
+    },
+    AutoLeave {
+        mh: MhId,
+    },
+    DoJoin {
+        mh: MhId,
+        mss: MssId,
+    },
+    AutoDisconnect {
+        mh: MhId,
+    },
+    DoReconnect {
+        mh: MhId,
+        mss: MssId,
+    },
+    Timer {
+        t: T,
+    },
+}
+
+/// Simulation kernel state. Owned by [`Simulation`](crate::sim::Simulation);
+/// protocols access it through [`Ctx`](crate::proto::Ctx).
+#[derive(Debug)]
+pub struct Kernel<M, T> {
+    cfg: NetworkConfig,
+    now: SimTime,
+    queue: EventQueue<Ev<M, T>>,
+    rng: SimRng,
+    proto_rng: SimRng,
+    msss: Vec<MssState>,
+    mhs: Vec<MhState<M>>,
+    fifo: FifoChains,
+    reorder: ReorderBuffers<M>,
+    ledger: CostLedger,
+    pending: VecDeque<ProtoEvent<M, T>>,
+    trace: Trace,
+}
+
+impl<M: Debug + 'static, T: Debug + 'static> Kernel<M, T> {
+    /// Builds a kernel: places MHs into cells and primes the autonomous
+    /// mobility/disconnection processes.
+    pub fn new(cfg: NetworkConfig) -> Self {
+        let mut rng = SimRng::seed_from(cfg.seed);
+        let proto_rng = rng.fork(0xA11C);
+        let mut place_rng = rng.fork(0xB0B1);
+        let m = cfg.num_mss;
+        let mut mhs = Vec::with_capacity(cfg.num_mh);
+        for i in 0..cfg.num_mh {
+            let cell = match cfg.placement {
+                Placement::RoundRobin => MssId((i % m) as u32),
+                Placement::Random => MssId(place_rng.below(m as u64) as u32),
+                Placement::Clustered { cells } => MssId((i % cells.clamp(1, m)) as u32),
+            };
+            mhs.push(MhState::new(cell, cell));
+        }
+        let num_mh = cfg.num_mh;
+        let mut k = Kernel {
+            cfg,
+            now: SimTime::ZERO,
+            queue: EventQueue::new(),
+            rng,
+            proto_rng,
+            msss: vec![MssState::default(); m],
+            mhs,
+            fifo: FifoChains::default(),
+            reorder: ReorderBuffers::default(),
+            ledger: CostLedger::new(num_mh),
+            pending: VecDeque::new(),
+            trace: Trace::default(),
+        };
+        for i in 0..k.mhs.len() {
+            let cell = k.mhs[i].cell.expect("fresh MH always has a cell");
+            k.msss[cell.index()].local.insert(MhId(i as u32));
+        }
+        if k.cfg.mobility.enabled {
+            for i in 0..k.cfg.num_mh {
+                let d = k.rng.exp_delay(k.cfg.mobility.mean_dwell);
+                k.queue.push(k.now + d, Ev::AutoLeave { mh: MhId(i as u32) });
+            }
+        }
+        if k.cfg.disconnect.enabled {
+            for i in 0..k.cfg.num_mh {
+                let d = k.rng.exp_delay(k.cfg.disconnect.mean_uptime);
+                k.queue
+                    .push(k.now + d, Ev::AutoDisconnect { mh: MhId(i as u32) });
+            }
+        }
+        k
+    }
+
+    /// Current simulated time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// The configuration this kernel runs.
+    pub fn config(&self) -> &NetworkConfig {
+        &self.cfg
+    }
+
+    /// Read access to the cost ledger.
+    pub fn ledger(&self) -> &CostLedger {
+        &self.ledger
+    }
+
+    /// Mutable access to the cost ledger (custom counters).
+    pub fn ledger_mut(&mut self) -> &mut CostLedger {
+        &mut self.ledger
+    }
+
+    /// The protocol-visible random stream.
+    pub fn proto_rng(&mut self) -> &mut SimRng {
+        &mut self.proto_rng
+    }
+
+    /// The execution trace.
+    pub fn trace(&self) -> &Trace {
+        &self.trace
+    }
+
+    /// Mutable access to the trace (to enable/disable it).
+    pub fn trace_mut(&mut self) -> &mut Trace {
+        &mut self.trace
+    }
+
+    /// Peak occupancy of the MH→MH resequencing buffers — the FIFO burden L1
+    /// places on the network layer.
+    pub fn reorder_peak(&self) -> usize {
+        self.reorder.peak_held()
+    }
+
+    /// True when `mh` is local to `mss`.
+    pub fn is_local(&self, mss: MssId, mh: MhId) -> bool {
+        self.msss[mss.index()].has_local(mh)
+    }
+
+    /// MHs currently local to `mss`.
+    pub fn local_mhs(&self, mss: MssId) -> Vec<MhId> {
+        self.msss[mss.index()].local.iter().copied().collect()
+    }
+
+    /// Connectivity status of `mh`.
+    pub fn mh_status(&self, mh: MhId) -> MhStatus {
+        self.mhs[mh.index()].status
+    }
+
+    /// True when the disconnected flag for `mh` is set at `mss`.
+    pub fn mh_disconnected_here(&self, mss: MssId, mh: MhId) -> bool {
+        self.msss[mss.index()].disconnected_here.contains(&mh)
+    }
+
+    /// Oracle view of the current cell of `mh`.
+    pub fn current_cell(&self, mh: MhId) -> Option<MssId> {
+        self.mhs[mh.index()].cell
+    }
+
+    /// Sets doze mode for `mh`.
+    pub fn set_doze(&mut self, mh: MhId, dozing: bool) {
+        self.mhs[mh.index()].dozing = dozing;
+    }
+
+    /// True when no timed or pending protocol events remain.
+    pub fn is_quiescent(&self) -> bool {
+        self.queue.is_empty() && self.pending.is_empty()
+    }
+
+    /// Time of the next timed event.
+    pub fn next_event_time(&self) -> Option<SimTime> {
+        self.queue.peek_time()
+    }
+
+    pub(crate) fn take_pending(&mut self) -> Option<ProtoEvent<M, T>> {
+        self.pending.pop_front()
+    }
+
+    pub(crate) fn advance(&mut self) -> bool {
+        let Some((t, ev)) = self.queue.pop() else {
+            return false;
+        };
+        debug_assert!(t >= self.now, "event time regressed");
+        self.now = t;
+        self.process(ev);
+        true
+    }
+
+    // ----- send operations -------------------------------------------------
+
+    /// Point-to-point fixed-network send. Self-sends are free and take one
+    /// tick — they are not messages in the model.
+    pub fn send_fixed(&mut self, from: MssId, to: MssId, msg: M) {
+        if from == to {
+            self.queue.push(self.now + 1, Ev::FixedDeliver { from, to, msg });
+            return;
+        }
+        self.ledger.charge_fixed(&self.cfg.cost);
+        let lat = self.cfg.latency.fixed.sample(&mut self.rng);
+        let at = self.fifo.schedule(ChainKey::Fixed(from, to), self.now + lat);
+        self.queue.push(at, Ev::FixedDeliver { from, to, msg });
+    }
+
+    /// Wireless downlink send to a local MH.
+    ///
+    /// # Errors
+    ///
+    /// [`NetError::NotLocal`] when `mh` is not currently local to `mss`.
+    pub fn send_wireless_down(&mut self, mss: MssId, mh: MhId, msg: M) -> Result<(), NetError> {
+        if !self.is_local(mss, mh) {
+            return Err(NetError::NotLocal { mss, mh });
+        }
+        let epoch = self.mhs[mh.index()].epoch;
+        self.schedule_down(mss, mh, epoch, DownMode::Local, msg);
+        Ok(())
+    }
+
+    /// Broadcasts over the cell's wireless channel: **one** transmission
+    /// (one `C_wireless` charge) reaches every MH currently local to `mss`;
+    /// each listener still pays its own reception energy. Returns the
+    /// number of recipients.
+    pub fn broadcast_cell(&mut self, mss: MssId, mut make: impl FnMut() -> M) -> usize {
+        let locals = self.local_mhs(mss);
+        if locals.is_empty() {
+            return 0;
+        }
+        // One channel use regardless of listener count.
+        self.ledger.wireless_msgs += 1;
+        self.ledger.wireless_cost += self.cfg.cost.c_wireless;
+        let lat = self.cfg.latency.wireless.sample(&mut self.rng);
+        for mh in &locals {
+            let epoch = self.mhs[mh.index()].epoch;
+            self.mhs[mh.index()].down_sent += 1;
+            let at = self
+                .fifo
+                .schedule(ChainKey::Down(mss, *mh), self.now + lat);
+            self.queue.push(
+                at,
+                Ev::DownDeliver {
+                    mss,
+                    mh: *mh,
+                    epoch,
+                    mode: DownMode::Local,
+                    msg: make(),
+                },
+            );
+        }
+        locals.len()
+    }
+
+    /// Wireless uplink send from an MH to its current local MSS; buffered
+    /// while between cells and flushed on the next join.
+    ///
+    /// # Errors
+    ///
+    /// [`NetError::Disconnected`] when `mh` has disconnected.
+    pub fn send_wireless_up(&mut self, mh: MhId, msg: M) -> Result<(), NetError> {
+        match self.mhs[mh.index()].status {
+            MhStatus::Disconnected => Err(NetError::Disconnected { mh }),
+            MhStatus::BetweenCells => {
+                self.mhs[mh.index()].outbox.push_back(OutMsg::Plain(msg));
+                Ok(())
+            }
+            MhStatus::Connected => {
+                let mss = self.mhs[mh.index()].cell.expect("connected MH has a cell");
+                self.push_uplink(mh, mss, OutMsg::Plain(msg));
+                Ok(())
+            }
+        }
+    }
+
+    /// Locate-and-forward from `origin` to `mh` (the model's search).
+    pub fn search_send(&mut self, origin: MssId, mh: MhId, msg: M) {
+        self.begin_search(mh, DownMode::Searched { origin }, msg, false);
+    }
+
+    /// MH→MH transport with logical FIFO per ordered sender/receiver pair.
+    ///
+    /// # Errors
+    ///
+    /// [`NetError::Disconnected`] when the *sender* has disconnected.
+    pub fn mh_send_to_mh(&mut self, src: MhId, dst: MhId, msg: M) -> Result<(), NetError> {
+        if self.mhs[src.index()].status == MhStatus::Disconnected {
+            return Err(NetError::Disconnected { mh: src });
+        }
+        let seq = self.reorder.next_seq(src, dst);
+        match self.mhs[src.index()].status {
+            MhStatus::Connected => {
+                let mss = self.mhs[src.index()].cell.expect("connected MH has a cell");
+                self.push_uplink(src, mss, OutMsg::ToMh { dst, seq, msg });
+            }
+            MhStatus::BetweenCells => {
+                self.mhs[src.index()]
+                    .outbox
+                    .push_back(OutMsg::ToMh { dst, seq, msg });
+            }
+            MhStatus::Disconnected => unreachable!("checked above"),
+        }
+        Ok(())
+    }
+
+    /// Schedules a protocol timer (minimum delay of one tick).
+    pub fn set_timer(&mut self, delay: u64, t: T) {
+        self.queue.push(self.now + delay.max(1), Ev::Timer { t });
+    }
+
+    // ----- mobility control --------------------------------------------------
+
+    /// Forces `mh` to leave now and join `dest` (or a pattern-chosen cell)
+    /// after the configured gap. No-op when not connected.
+    pub fn initiate_move(&mut self, mh: MhId, dest: Option<MssId>) {
+        if self.mhs[mh.index()].status == MhStatus::Connected {
+            self.do_leave(mh, dest);
+        }
+    }
+
+    /// Forces `mh` to disconnect now. No-op when not connected.
+    pub fn initiate_disconnect(&mut self, mh: MhId) {
+        if self.mhs[mh.index()].status == MhStatus::Connected {
+            self.do_disconnect(mh, false);
+        }
+    }
+
+    /// Forces a disconnected `mh` to reconnect at `at` (or its previous
+    /// cell) after `delay` ticks. No-op when not disconnected.
+    pub fn initiate_reconnect(&mut self, mh: MhId, at: Option<MssId>, delay: u64) {
+        if self.mhs[mh.index()].status != MhStatus::Disconnected {
+            return;
+        }
+        let dest = at
+            .or(self.mhs[mh.index()].disconnected_at)
+            .unwrap_or(MssId(0));
+        self.queue
+            .push(self.now + delay.max(1), Ev::DoReconnect { mh, mss: dest });
+    }
+
+    // ----- internals ----------------------------------------------------------
+
+    /// Charges and schedules one uplink transmission (plain or MH→MH relay).
+    fn push_uplink(&mut self, mh: MhId, mss: MssId, out: OutMsg<M>) {
+        let energy = self.cfg.energy.tx;
+        self.ledger.charge_wireless_tx(&self.cfg.cost, mh, energy);
+        let lat = self.cfg.latency.wireless.sample(&mut self.rng);
+        let at = self.fifo.schedule(ChainKey::Up(mh, mss), self.now + lat);
+        match out {
+            OutMsg::Plain(msg) => self.queue.push(at, Ev::UpDeliver { mh, mss, msg }),
+            OutMsg::ToMh { dst, seq, msg } => self.queue.push(
+                at,
+                Ev::RelayMhMh {
+                    at: mss,
+                    src: mh,
+                    dst,
+                    seq,
+                    msg,
+                },
+            ),
+        }
+    }
+
+    /// Charges and schedules a downlink delivery from `mss` to `mh`.
+    fn schedule_down(&mut self, mss: MssId, mh: MhId, epoch: u64, mode: DownMode, msg: M) {
+        self.ledger.wireless_msgs += 1;
+        self.ledger.wireless_cost += self.cfg.cost.c_wireless;
+        self.mhs[mh.index()].down_sent += 1;
+        let lat = self.cfg.latency.wireless.sample(&mut self.rng);
+        let at = self.fifo.schedule(ChainKey::Down(mss, mh), self.now + lat);
+        self.queue.push(
+            at,
+            Ev::DownDeliver {
+                mss,
+                mh,
+                epoch,
+                mode,
+                msg,
+            },
+        );
+    }
+
+    /// Charges one search and routes `msg` toward the target's current cell.
+    fn begin_search(&mut self, target: MhId, mode: DownMode, msg: M, re: bool) {
+        let lat = match self.cfg.search {
+            SearchPolicy::Oracle => {
+                self.ledger.charge_search_abstract(&self.cfg.cost, re);
+                self.cfg.latency.search.sample(&mut self.rng)
+            }
+            SearchPolicy::Flood => {
+                let msgs = SearchPolicy::flood_message_count(self.cfg.num_mss);
+                self.ledger.charge_search_flood(&self.cfg.cost, msgs, re);
+                let f = &self.cfg.latency.fixed;
+                f.sample(&mut self.rng) + f.sample(&mut self.rng) + f.sample(&mut self.rng)
+            }
+            SearchPolicy::HomeAgent => {
+                // Origin asks the home agent, which tunnels to the current
+                // cell (the registration performed at join keeps it exact).
+                let msgs = SearchPolicy::home_agent_message_count();
+                self.ledger.charge_search_flood(&self.cfg.cost, msgs, re);
+                let f = &self.cfg.latency.fixed;
+                f.sample(&mut self.rng) + f.sample(&mut self.rng)
+            }
+        };
+        let st = &self.mhs[target.index()];
+        match st.status {
+            MhStatus::Disconnected => {
+                // The MSS where the MH disconnected answers with its status.
+                let back = self.cfg.latency.fixed.sample(&mut self.rng);
+                self.search_failed(target, mode, msg, lat + back);
+            }
+            MhStatus::Connected | MhStatus::BetweenCells => {
+                // Forward to the current cell, or toward the last known cell
+                // when mid-move; arrival there triggers a counted re-search.
+                let at = st
+                    .cell
+                    .or(st.prev_cell)
+                    .expect("an MH always has a current or previous cell");
+                self.queue.push(
+                    self.now + lat,
+                    Ev::SearchArrive {
+                        target,
+                        at,
+                        mode,
+                        msg,
+                    },
+                );
+            }
+        }
+    }
+
+    /// Common handling for a search terminating at a disconnected target:
+    /// notify the origin, and for MH→MH transport cancel the burnt sequence
+    /// number so later messages on the pair are not held back forever.
+    fn search_failed(&mut self, target: MhId, mode: DownMode, msg: M, delay: u64) {
+        let origin = match mode {
+            DownMode::Searched { origin } | DownMode::FromMh { origin, .. } => origin,
+            DownMode::Local => unreachable!("plain sends are never searched"),
+        };
+        self.ledger.search_failures += 1;
+        self.ledger.charge_fixed(&self.cfg.cost);
+        if let DownMode::FromMh { src, seq, .. } = mode {
+            for m in self.reorder.cancel(src, target, seq) {
+                self.pending.push_back(ProtoEvent::MhMsg {
+                    at: target,
+                    src: Src::Mh(src),
+                    msg: m,
+                });
+            }
+        }
+        self.queue.push(
+            self.now + delay,
+            Ev::SearchFail {
+                origin,
+                target,
+                msg,
+            },
+        );
+    }
+
+    fn deliver_down(&mut self, mss: MssId, mh: MhId, epoch: u64, mode: DownMode, msg: M) {
+        let fresh = {
+            let st = &self.mhs[mh.index()];
+            st.status == MhStatus::Connected && st.cell == Some(mss) && st.epoch == epoch
+        };
+        if fresh {
+            self.mhs[mh.index()].down_received += 1;
+            if self.mhs[mh.index()].dozing {
+                self.ledger.doze_interruptions += 1;
+            }
+            let energy = self.cfg.energy.rx;
+            self.ledger.mh_rx[mh.index()] += 1;
+            self.ledger.mh_energy[mh.index()] += energy;
+            match mode {
+                DownMode::Local | DownMode::Searched { .. } => {
+                    self.pending.push_back(ProtoEvent::MhMsg {
+                        at: mh,
+                        src: mode.src_for(mss),
+                        msg,
+                    });
+                }
+                DownMode::FromMh { src, seq, .. } => {
+                    for m in self.reorder.accept(src, mh, seq, msg) {
+                        self.pending.push_back(ProtoEvent::MhMsg {
+                            at: mh,
+                            src: Src::Mh(src),
+                            msg: m,
+                        });
+                    }
+                }
+            }
+        } else {
+            // Prefix-delivery semantics: the MH left (or disconnected) first.
+            self.ledger.wireless_losses += 1;
+            match mode {
+                DownMode::Local => {
+                    self.pending
+                        .push_back(ProtoEvent::WirelessLost { mss, mh, msg });
+                }
+                DownMode::Searched { .. } | DownMode::FromMh { .. } => {
+                    self.begin_search(mh, mode, msg, true);
+                }
+            }
+        }
+    }
+
+    fn process(&mut self, ev: Ev<M, T>) {
+        match ev {
+            Ev::FixedDeliver { from, to, msg } => {
+                self.pending.push_back(ProtoEvent::MssMsg {
+                    at: to,
+                    src: Src::Mss(from),
+                    msg,
+                });
+            }
+            Ev::UpDeliver { mh, mss, msg } => {
+                self.pending.push_back(ProtoEvent::MssMsg {
+                    at: mss,
+                    src: Src::Mh(mh),
+                    msg,
+                });
+            }
+            Ev::RelayMhMh {
+                at,
+                src,
+                dst,
+                seq,
+                msg,
+            } => {
+                self.begin_search(
+                    dst,
+                    DownMode::FromMh {
+                        origin: at,
+                        src,
+                        seq,
+                    },
+                    msg,
+                    false,
+                );
+            }
+            Ev::DownDeliver {
+                mss,
+                mh,
+                epoch,
+                mode,
+                msg,
+            } => self.deliver_down(mss, mh, epoch, mode, msg),
+            Ev::SearchArrive {
+                target,
+                at,
+                mode,
+                msg,
+            } => {
+                if self.msss[at.index()].has_local(target) {
+                    let epoch = self.mhs[target.index()].epoch;
+                    self.schedule_down(at, target, epoch, mode, msg);
+                } else if self.msss[at.index()].disconnected_here.contains(&target) {
+                    let back = self.cfg.latency.fixed.sample(&mut self.rng);
+                    self.search_failed(target, mode, msg, back);
+                } else {
+                    // The MH moved on: re-search from here.
+                    self.begin_search(target, mode, msg, true);
+                }
+            }
+            Ev::SearchFail {
+                origin,
+                target,
+                msg,
+            } => {
+                self.pending.push_back(ProtoEvent::SearchFailed {
+                    origin,
+                    target,
+                    msg,
+                });
+            }
+            Ev::AutoLeave { mh } => {
+                // Leave only if still connected; moving/disconnected MHs get
+                // a fresh dwell scheduled when they next join/reconnect.
+                if self.mhs[mh.index()].status == MhStatus::Connected {
+                    self.do_leave(mh, None);
+                }
+            }
+            Ev::DoJoin { mh, mss } => self.do_join(mh, mss),
+            Ev::AutoDisconnect { mh } => {
+                if self.mhs[mh.index()].status == MhStatus::Connected {
+                    self.do_disconnect(mh, true);
+                } else {
+                    let d = self.rng.exp_delay(self.cfg.disconnect.mean_uptime);
+                    self.queue.push(self.now + d, Ev::AutoDisconnect { mh });
+                }
+            }
+            Ev::DoReconnect { mh, mss } => self.do_reconnect(mh, mss),
+            Ev::Timer { t } => self.pending.push_back(ProtoEvent::Timer(t)),
+        }
+    }
+
+    fn do_leave(&mut self, mh: MhId, dest: Option<MssId>) {
+        let mss;
+        {
+            let st = &mut self.mhs[mh.index()];
+            mss = st.cell.expect("connected MH has a cell");
+            st.status = MhStatus::BetweenCells;
+            st.prev_cell = Some(mss);
+            st.cell = None;
+            st.epoch += 1;
+            st.down_received = 0;
+            st.down_sent = 0;
+        }
+        self.msss[mss.index()].local.remove(&mh);
+        self.fifo.reset(ChainKey::Down(mss, mh));
+        self.fifo.reset(ChainKey::Up(mh, mss));
+        self.ledger.bump("control_wireless"); // leave(r)
+        self.trace.record(self.now, || format!("{mh} leaves {mss}"));
+        self.pending.push_back(ProtoEvent::Left { mh, mss });
+        let gap = self.rng.exp_delay(self.cfg.mobility.mean_gap.max(1));
+        let m = self.cfg.num_mss;
+        let home = self.mhs[mh.index()].home;
+        let dest = dest.unwrap_or_else(|| {
+            self.cfg
+                .mobility
+                .pattern
+                .next_cell(&mut self.rng, mh, mss, m, home)
+        });
+        self.queue.push(self.now + gap, Ev::DoJoin { mh, mss: dest });
+    }
+
+    fn do_join(&mut self, mh: MhId, mss: MssId) {
+        let prev = self.mhs[mh.index()].prev_cell;
+        {
+            let st = &mut self.mhs[mh.index()];
+            st.cell = Some(mss);
+            st.status = MhStatus::Connected;
+            st.down_received = 0;
+            st.down_sent = 0;
+        }
+        self.msss[mss.index()].local.insert(mh);
+        self.ledger.moves += 1;
+        self.ledger.bump("control_wireless"); // join(mh-id)
+        if self.cfg.search == SearchPolicy::HomeAgent && self.mhs[mh.index()].home != mss {
+            // The new cell registers the MH's location with its home agent.
+            self.ledger.bump("ha_registrations");
+            self.ledger.bump("control_fixed");
+        }
+        let supplied = if self.cfg.supply_prev_on_join { prev } else { None };
+        if let Some(p) = supplied {
+            if p != mss {
+                self.ledger.handoffs += 1;
+                self.ledger.bump("control_fixed"); // handoff state request
+            }
+        }
+        self.trace
+            .record(self.now, || format!("{mh} joins {mss} (prev {prev:?})"));
+        self.pending.push_back(ProtoEvent::Joined {
+            mh,
+            mss,
+            prev: supplied,
+        });
+        self.flush_outbox(mh, mss);
+        if self.cfg.mobility.enabled {
+            let d = self.rng.exp_delay(self.cfg.mobility.mean_dwell);
+            self.queue.push(self.now + d, Ev::AutoLeave { mh });
+        }
+    }
+
+    fn do_disconnect(&mut self, mh: MhId, schedule_auto_reconnect: bool) {
+        let mss;
+        {
+            let st = &mut self.mhs[mh.index()];
+            mss = st.cell.expect("connected MH has a cell");
+            st.status = MhStatus::Disconnected;
+            st.prev_cell = Some(mss);
+            st.cell = None;
+            st.epoch += 1;
+            st.disconnected_at = Some(mss);
+        }
+        self.msss[mss.index()].local.remove(&mh);
+        self.msss[mss.index()].disconnected_here.insert(mh);
+        self.fifo.reset(ChainKey::Down(mss, mh));
+        self.fifo.reset(ChainKey::Up(mh, mss));
+        self.ledger.disconnects += 1;
+        self.ledger.bump("control_wireless"); // disconnect(r)
+        self.trace
+            .record(self.now, || format!("{mh} disconnects at {mss}"));
+        self.pending.push_back(ProtoEvent::Disconnected { mh, mss });
+        if schedule_auto_reconnect {
+            let down = self.rng.exp_delay(self.cfg.disconnect.mean_downtime.max(1));
+            let m = self.cfg.num_mss;
+            let home = self.mhs[mh.index()].home;
+            let dest = self
+                .cfg
+                .mobility
+                .pattern
+                .next_cell(&mut self.rng, mh, mss, m, home);
+            self.queue
+                .push(self.now + down, Ev::DoReconnect { mh, mss: dest });
+        }
+    }
+
+    fn do_reconnect(&mut self, mh: MhId, mss: MssId) {
+        if self.mhs[mh.index()].status != MhStatus::Disconnected {
+            return;
+        }
+        let old = self.mhs[mh.index()].disconnected_at;
+        if let Some(o) = old {
+            self.msss[o.index()].disconnected_here.remove(&mh);
+        }
+        let supplies_prev = self.rng.chance(self.cfg.disconnect.p_supply_prev);
+        if supplies_prev {
+            self.ledger.bump("control_fixed"); // handoff with the previous MSS
+        } else {
+            // The new MSS queries every fixed host for the previous location.
+            self.ledger
+                .bump_by("control_fixed", (self.cfg.num_mss as u64).saturating_sub(1));
+        }
+        {
+            let st = &mut self.mhs[mh.index()];
+            st.status = MhStatus::Connected;
+            st.cell = Some(mss);
+            st.disconnected_at = None;
+            st.prev_cell = old;
+            st.down_received = 0;
+            st.down_sent = 0;
+        }
+        self.msss[mss.index()].local.insert(mh);
+        self.ledger.reconnects += 1;
+        self.ledger.bump("control_wireless"); // reconnect(mh, prev)
+        if self.cfg.search == SearchPolicy::HomeAgent && self.mhs[mh.index()].home != mss {
+            self.ledger.bump("ha_registrations");
+            self.ledger.bump("control_fixed");
+        }
+        self.trace
+            .record(self.now, || format!("{mh} reconnects at {mss} (was {old:?})"));
+        self.pending.push_back(ProtoEvent::Reconnected {
+            mh,
+            mss,
+            prev: if supplies_prev { old } else { None },
+        });
+        self.flush_outbox(mh, mss);
+        if self.cfg.mobility.enabled {
+            let d = self.rng.exp_delay(self.cfg.mobility.mean_dwell);
+            self.queue.push(self.now + d, Ev::AutoLeave { mh });
+        }
+        if self.cfg.disconnect.enabled {
+            let d = self.rng.exp_delay(self.cfg.disconnect.mean_uptime);
+            self.queue.push(self.now + d, Ev::AutoDisconnect { mh });
+        }
+    }
+
+    fn flush_outbox(&mut self, mh: MhId, mss: MssId) {
+        let msgs: Vec<OutMsg<M>> = self.mhs[mh.index()].outbox.drain(..).collect();
+        for out in msgs {
+            self.push_uplink(mh, mss, out);
+        }
+    }
+}

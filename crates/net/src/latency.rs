@@ -1,0 +1,106 @@
+//! Message latency distributions.
+//!
+//! The paper's static network delivers with "arbitrary message latency";
+//! experiments choose a distribution per channel class. FIFO order is
+//! enforced by the kernel regardless of sampled latencies (see
+//! [`FifoChains`](crate::channel::FifoChains)).
+
+use crate::rng::SimRng;
+use serde::{Deserialize, Serialize};
+
+/// A latency distribution, sampled per message, in ticks.
+///
+/// # Examples
+///
+/// ```
+/// use mobidist_net::latency::LatencyModel;
+/// use mobidist_net::rng::SimRng;
+/// let mut rng = SimRng::seed_from(1);
+/// assert_eq!(LatencyModel::Fixed(4).sample(&mut rng), 4);
+/// let v = LatencyModel::Uniform { lo: 2, hi: 6 }.sample(&mut rng);
+/// assert!((2..=6).contains(&v));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum LatencyModel {
+    /// Constant latency.
+    Fixed(u64),
+    /// Uniform latency in `lo..=hi`.
+    Uniform {
+        /// Lower bound (inclusive).
+        lo: u64,
+        /// Upper bound (inclusive).
+        hi: u64,
+    },
+    /// Exponential-like latency with the given mean (minimum 1 tick).
+    Exp {
+        /// Mean latency in ticks.
+        mean: u64,
+    },
+}
+
+impl LatencyModel {
+    /// Draws one latency in ticks (always at least 1).
+    pub fn sample(&self, rng: &mut SimRng) -> u64 {
+        match *self {
+            LatencyModel::Fixed(v) => v.max(1),
+            LatencyModel::Uniform { lo, hi } => rng.between(lo.max(1), hi.max(lo).max(1)),
+            LatencyModel::Exp { mean } => rng.exp_delay(mean),
+        }
+    }
+
+    /// A deterministic upper bound where one exists (used by flood-search
+    /// timeout reasoning).
+    pub fn upper_bound(&self) -> Option<u64> {
+        match *self {
+            LatencyModel::Fixed(v) => Some(v.max(1)),
+            LatencyModel::Uniform { hi, .. } => Some(hi.max(1)),
+            LatencyModel::Exp { .. } => None,
+        }
+    }
+}
+
+impl Default for LatencyModel {
+    fn default() -> Self {
+        LatencyModel::Fixed(1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fixed_is_constant_and_nonzero() {
+        let mut rng = SimRng::seed_from(2);
+        assert_eq!(LatencyModel::Fixed(0).sample(&mut rng), 1);
+        for _ in 0..10 {
+            assert_eq!(LatencyModel::Fixed(9).sample(&mut rng), 9);
+        }
+    }
+
+    #[test]
+    fn uniform_within_bounds() {
+        let mut rng = SimRng::seed_from(3);
+        let m = LatencyModel::Uniform { lo: 3, hi: 11 };
+        for _ in 0..100 {
+            let v = m.sample(&mut rng);
+            assert!((3..=11).contains(&v));
+        }
+    }
+
+    #[test]
+    fn exp_is_positive() {
+        let mut rng = SimRng::seed_from(4);
+        let m = LatencyModel::Exp { mean: 6 };
+        for _ in 0..100 {
+            assert!(m.sample(&mut rng) >= 1);
+        }
+    }
+
+    #[test]
+    fn upper_bounds() {
+        assert_eq!(LatencyModel::Fixed(5).upper_bound(), Some(5));
+        assert_eq!(LatencyModel::Uniform { lo: 1, hi: 8 }.upper_bound(), Some(8));
+        assert_eq!(LatencyModel::Exp { mean: 5 }.upper_bound(), None);
+    }
+}

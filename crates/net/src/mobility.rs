@@ -1,0 +1,211 @@
+//! Mobility and disconnection processes.
+//!
+//! Host mobility in the model is *asynchronous*: an MH may leave its cell at
+//! any time, spends an unbounded-but-finite interval between cells, and then
+//! joins some cell. Disconnection is voluntary (announced with
+//! `disconnect(r)`) and differs from a move in that reconnection is not
+//! guaranteed by the model — our process reconnects after a configurable
+//! down-time so experiments terminate, but the *algorithms never rely on it*.
+
+use crate::ids::{MhId, MssId};
+use crate::rng::SimRng;
+use serde::{Deserialize, Serialize};
+
+/// How a moving MH chooses its next cell.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub enum MovePattern {
+    /// Uniformly random among the other `M − 1` cells.
+    #[default]
+    UniformRandom,
+    /// Locality-biased: with probability `p_local` the MH moves within its
+    /// `home_span` consecutive home cells (wrapping), otherwise uniformly
+    /// anywhere. High `p_local` keeps group members concentrated in few
+    /// cells, which is the regime where location views shine (E6).
+    Locality {
+        /// Probability of staying within the home span.
+        p_local: f64,
+        /// Number of consecutive cells forming the home neighbourhood.
+        home_span: usize,
+    },
+}
+
+impl MovePattern {
+    /// Chooses the next cell for `mh`, currently in `from`, among `m` cells.
+    ///
+    /// Always returns a cell different from `from` when `m > 1`.
+    pub fn next_cell(
+        &self,
+        rng: &mut SimRng,
+        mh: MhId,
+        from: MssId,
+        m: usize,
+        home_base: MssId,
+    ) -> MssId {
+        let _ = mh;
+        if m <= 1 {
+            return from;
+        }
+        match *self {
+            MovePattern::UniformRandom => {
+                let mut c = MssId(rng.below(m as u64) as u32);
+                if c == from {
+                    c = MssId((c.0 + 1) % m as u32);
+                }
+                c
+            }
+            MovePattern::Locality { p_local, home_span } => {
+                let span = home_span.clamp(1, m);
+                if rng.chance(p_local) && span > 1 {
+                    // Pick within the wrapped home neighbourhood, avoiding `from`.
+                    for _ in 0..8 {
+                        let off = rng.below(span as u64) as u32;
+                        let c = MssId((home_base.0 + off) % m as u32);
+                        if c != from {
+                            return c;
+                        }
+                    }
+                    MssId((home_base.0 + 1) % m as u32)
+                } else {
+                    MovePattern::UniformRandom.next_cell(rng, mh, from, m, home_base)
+                }
+            }
+        }
+    }
+}
+
+/// Configuration of the autonomous mobility process.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct MobilityConfig {
+    /// Whether MHs move autonomously at all.
+    pub enabled: bool,
+    /// Mean dwell time in a cell before leaving, in ticks.
+    pub mean_dwell: u64,
+    /// Mean time between leaving one cell and joining the next, in ticks.
+    pub mean_gap: u64,
+    /// Destination-cell choice.
+    pub pattern: MovePattern,
+}
+
+impl Default for MobilityConfig {
+    /// Mobility disabled (experiments opt in with their own rates).
+    fn default() -> Self {
+        MobilityConfig {
+            enabled: false,
+            mean_dwell: 500,
+            mean_gap: 20,
+            pattern: MovePattern::default(),
+        }
+    }
+}
+
+impl MobilityConfig {
+    /// An enabled process with the given mean dwell time and defaults
+    /// elsewhere.
+    pub fn moving(mean_dwell: u64) -> Self {
+        MobilityConfig {
+            enabled: true,
+            mean_dwell,
+            ..MobilityConfig::default()
+        }
+    }
+}
+
+/// Configuration of the voluntary disconnection process.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DisconnectConfig {
+    /// Whether MHs disconnect autonomously.
+    pub enabled: bool,
+    /// Mean connected time before a disconnection, in ticks.
+    pub mean_uptime: u64,
+    /// Mean disconnected duration before reconnecting, in ticks.
+    pub mean_downtime: u64,
+    /// Probability that the MH supplies its previous MSS id on `reconnect()`
+    /// (otherwise the new MSS must query every fixed host — the paper's
+    /// fallback — which the kernel charges as a flood).
+    pub p_supply_prev: f64,
+}
+
+impl Default for DisconnectConfig {
+    /// Disconnection disabled.
+    fn default() -> Self {
+        DisconnectConfig {
+            enabled: false,
+            mean_uptime: 2_000,
+            mean_downtime: 200,
+            p_supply_prev: 1.0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_never_returns_current_cell() {
+        let mut rng = SimRng::seed_from(5);
+        let p = MovePattern::UniformRandom;
+        for _ in 0..200 {
+            let c = p.next_cell(&mut rng, MhId(0), MssId(3), 8, MssId(0));
+            assert_ne!(c, MssId(3));
+            assert!(c.0 < 8);
+        }
+    }
+
+    #[test]
+    fn single_cell_system_cannot_move() {
+        let mut rng = SimRng::seed_from(5);
+        let p = MovePattern::UniformRandom;
+        assert_eq!(p.next_cell(&mut rng, MhId(0), MssId(0), 1, MssId(0)), MssId(0));
+    }
+
+    #[test]
+    fn locality_concentrates_moves() {
+        let mut rng = SimRng::seed_from(6);
+        let p = MovePattern::Locality {
+            p_local: 0.95,
+            home_span: 3,
+        };
+        let home = MssId(4);
+        let m = 16;
+        let mut in_home = 0;
+        let total = 400;
+        let mut cur = home;
+        for _ in 0..total {
+            let c = p.next_cell(&mut rng, MhId(1), cur, m, home);
+            assert_ne!(c, cur);
+            let off = (c.0 + m as u32 - home.0) % m as u32;
+            if off < 3 {
+                in_home += 1;
+            }
+            cur = c;
+        }
+        assert!(
+            in_home as f64 / total as f64 > 0.7,
+            "only {in_home}/{total} moves stayed in the home span"
+        );
+    }
+
+    #[test]
+    fn locality_with_zero_p_is_uniform_spread() {
+        let mut rng = SimRng::seed_from(7);
+        let p = MovePattern::Locality {
+            p_local: 0.0,
+            home_span: 2,
+        };
+        let mut cells = std::collections::BTreeSet::new();
+        for _ in 0..300 {
+            cells.insert(p.next_cell(&mut rng, MhId(0), MssId(0), 6, MssId(0)));
+        }
+        assert!(cells.len() >= 5, "expected wide spread, saw {cells:?}");
+    }
+
+    #[test]
+    fn config_defaults_are_disabled() {
+        assert!(!MobilityConfig::default().enabled);
+        assert!(!DisconnectConfig::default().enabled);
+        let m = MobilityConfig::moving(100);
+        assert!(m.enabled);
+        assert_eq!(m.mean_dwell, 100);
+    }
+}

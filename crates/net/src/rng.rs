@@ -1,0 +1,161 @@
+//! Deterministic randomness for the simulator.
+//!
+//! All stochastic choices (latencies, dwell times, destination cells,
+//! disconnection times, workload think times) flow through one seeded
+//! [`SimRng`], so a run is fully determined by its
+//! [`NetworkConfig::seed`](crate::config::NetworkConfig).
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Seeded random source used by the kernel and by workloads.
+///
+/// # Examples
+///
+/// ```
+/// use mobidist_net::rng::SimRng;
+/// let mut a = SimRng::seed_from(7);
+/// let mut b = SimRng::seed_from(7);
+/// assert_eq!(a.below(100), b.below(100));
+/// ```
+#[derive(Debug, Clone)]
+pub struct SimRng {
+    inner: StdRng,
+}
+
+impl SimRng {
+    /// Creates an rng from a 64-bit seed.
+    pub fn seed_from(seed: u64) -> Self {
+        SimRng {
+            inner: StdRng::seed_from_u64(seed),
+        }
+    }
+
+    /// Derives an independent stream for a sub-component, so adding draws in
+    /// one component does not perturb another.
+    pub fn fork(&mut self, stream: u64) -> SimRng {
+        let s = self.inner.random::<u64>() ^ stream.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        SimRng::seed_from(s)
+    }
+
+    /// Uniform draw in `0..n`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    pub fn below(&mut self, n: u64) -> u64 {
+        assert!(n > 0, "below(0) is meaningless");
+        self.inner.random_range(0..n)
+    }
+
+    /// Uniform draw in `lo..=hi`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo > hi`.
+    pub fn between(&mut self, lo: u64, hi: u64) -> u64 {
+        assert!(lo <= hi, "empty range {lo}..={hi}");
+        self.inner.random_range(lo..=hi)
+    }
+
+    /// Bernoulli draw with probability `p` (clamped to `[0, 1]`).
+    pub fn chance(&mut self, p: f64) -> bool {
+        let p = p.clamp(0.0, 1.0);
+        self.inner.random_bool(p)
+    }
+
+    /// Geometric approximation of an exponential delay with the given mean,
+    /// always at least 1 tick. A mean of 0 yields a constant 1.
+    pub fn exp_delay(&mut self, mean: u64) -> u64 {
+        if mean == 0 {
+            return 1;
+        }
+        let u: f64 = self.inner.random_range(f64::MIN_POSITIVE..1.0);
+        let d = -(u.ln()) * mean as f64;
+        (d.round() as u64).clamp(1, mean.saturating_mul(64).max(1))
+    }
+
+    /// Chooses a uniformly random element of `items`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `items` is empty.
+    pub fn pick<'a, T>(&mut self, items: &'a [T]) -> &'a T {
+        assert!(!items.is_empty(), "pick from empty slice");
+        let i = self.below(items.len() as u64) as usize;
+        &items[i]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_for_same_seed() {
+        let mut a = SimRng::seed_from(42);
+        let mut b = SimRng::seed_from(42);
+        for _ in 0..100 {
+            assert_eq!(a.below(1000), b.below(1000));
+        }
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let mut a = SimRng::seed_from(1);
+        let mut b = SimRng::seed_from(2);
+        let same = (0..64).filter(|_| a.below(1_000_000) == b.below(1_000_000)).count();
+        assert!(same < 4, "streams should diverge, {same} collisions");
+    }
+
+    #[test]
+    fn ranges_respected() {
+        let mut r = SimRng::seed_from(7);
+        for _ in 0..200 {
+            let v = r.between(5, 9);
+            assert!((5..=9).contains(&v));
+            assert!(r.below(3) < 3);
+        }
+    }
+
+    #[test]
+    fn exp_delay_positive_and_mean_ish() {
+        let mut r = SimRng::seed_from(11);
+        let n = 4000u64;
+        let sum: u64 = (0..n).map(|_| r.exp_delay(50)).sum();
+        let mean = sum as f64 / n as f64;
+        assert!(mean > 35.0 && mean < 65.0, "mean {mean} too far from 50");
+        assert_eq!(r.exp_delay(0), 1);
+    }
+
+    #[test]
+    fn fork_is_independent() {
+        let mut root = SimRng::seed_from(3);
+        let mut f1 = root.fork(1);
+        let before: Vec<u64> = (0..8).map(|_| f1.below(100)).collect();
+        // Re-derive from an identically-seeded root: same stream.
+        let mut root2 = SimRng::seed_from(3);
+        let mut f2 = root2.fork(1);
+        let after: Vec<u64> = (0..8).map(|_| f2.below(100)).collect();
+        assert_eq!(before, after);
+    }
+
+    #[test]
+    fn chance_extremes() {
+        let mut r = SimRng::seed_from(9);
+        assert!(!r.chance(0.0));
+        assert!(r.chance(1.0));
+        assert!(r.chance(2.0)); // clamped
+    }
+
+    #[test]
+    fn pick_covers_all_elements() {
+        let mut r = SimRng::seed_from(13);
+        let items = [1, 2, 3, 4];
+        let mut seen = [false; 4];
+        for _ in 0..200 {
+            seen[*r.pick(&items) as usize - 1] = true;
+        }
+        assert!(seen.iter().all(|s| *s));
+    }
+}

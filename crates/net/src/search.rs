@@ -1,0 +1,86 @@
+//! Search policies — locating a mobile host.
+//!
+//! The paper deliberately abstracts routing-layer location protocols behind a
+//! fixed cost `C_search` (Section 2): "Our system model is not tied to any
+//! particular routing scheme … we will assume that any message destined for a
+//! mobile host incurs a fixed search cost." The [`Oracle`] policy realises
+//! that abstraction. The [`Flood`] policy realises the worst case the paper
+//! mentions — the source MSS contacts each of the other `M − 1` MSSs — with
+//! cost derived from the actual control messages, for sensitivity studies
+//! (experiment E4).
+//!
+//! [`Oracle`]: SearchPolicy::Oracle
+//! [`Flood`]: SearchPolicy::Flood
+
+use serde::{Deserialize, Serialize};
+
+/// How a source MSS locates an MH and forwards a message to its current
+/// local MSS.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum SearchPolicy {
+    /// Abstract constant-cost search: charges `C_search` from the
+    /// [`CostModel`](crate::cost::CostModel) and takes the configured search
+    /// latency. This is the paper's model.
+    #[default]
+    Oracle,
+    /// Worst-case search: the source queries all `M − 1` other MSSs, the
+    /// holder replies, and the message is forwarded — `M + 1` fixed-network
+    /// messages charged at `C_fixed` each, taking three wired hops of
+    /// latency.
+    Flood,
+    /// Mobile-IP-style routing (references [6, 10] of the paper): every MH
+    /// has a *home agent* — the MSS of its initial cell — that tracks its
+    /// location via a registration message on every `join`/`reconnect`
+    /// (charged to the `ha_registrations`/`control_fixed` counters, since
+    /// it belongs to the routing substrate, not the algorithm). A search
+    /// then costs two fixed messages (origin → home agent, home agent
+    /// tunnels to the current cell) and two wired hops of latency.
+    HomeAgent,
+}
+
+impl SearchPolicy {
+    /// Number of fixed-network control+forward messages one flood search
+    /// costs in a system of `m` MSSs (queries to `m − 1` peers, one positive
+    /// reply, one forward).
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use mobidist_net::search::SearchPolicy;
+    /// assert_eq!(SearchPolicy::flood_message_count(8), 9);
+    /// ```
+    pub fn flood_message_count(m: usize) -> u64 {
+        (m as u64).saturating_sub(1) + 2
+    }
+
+    /// Number of fixed-network messages one home-agent search costs
+    /// (origin → home, home → current cell).
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use mobidist_net::search::SearchPolicy;
+    /// assert_eq!(SearchPolicy::home_agent_message_count(), 2);
+    /// ```
+    pub fn home_agent_message_count() -> u64 {
+        2
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_oracle() {
+        assert_eq!(SearchPolicy::default(), SearchPolicy::Oracle);
+    }
+
+    #[test]
+    fn flood_count_formula() {
+        assert_eq!(SearchPolicy::flood_message_count(2), 3);
+        assert_eq!(SearchPolicy::flood_message_count(10), 11);
+        // Degenerate single-MSS system still forwards.
+        assert_eq!(SearchPolicy::flood_message_count(1), 2);
+    }
+}

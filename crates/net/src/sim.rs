@@ -1,0 +1,183 @@
+//! The simulation driver: owns a [`Kernel`] and a [`Protocol`] and runs the
+//! event loop.
+
+use crate::config::NetworkConfig;
+use crate::kernel::Kernel;
+use crate::ledger::CostLedger;
+use crate::proto::{Ctx, ProtoEvent, Protocol};
+use crate::time::SimTime;
+
+/// A running simulation: the two-tier network plus one protocol instance.
+///
+/// # Examples
+///
+/// A protocol that bounces one message from an MH to its MSS and back:
+///
+/// ```
+/// use mobidist_net::prelude::*;
+///
+/// struct PingPong { done: bool }
+///
+/// impl Protocol for PingPong {
+///     type Msg = &'static str;
+///     type Timer = ();
+///     fn on_start(&mut self, ctx: &mut Ctx<'_, Self::Msg, Self::Timer>) {
+///         ctx.send_wireless_up(MhId(0), "ping").unwrap();
+///     }
+///     fn on_mss_msg(&mut self, ctx: &mut Ctx<'_, Self::Msg, Self::Timer>,
+///                   at: MssId, _src: Src, _msg: Self::Msg) {
+///         ctx.send_wireless_down(at, MhId(0), "pong").unwrap();
+///     }
+///     fn on_mh_msg(&mut self, _ctx: &mut Ctx<'_, Self::Msg, Self::Timer>,
+///                  _at: MhId, _src: Src, msg: Self::Msg) {
+///         assert_eq!(msg, "pong");
+///         self.done = true;
+///     }
+/// }
+///
+/// let cfg = NetworkConfig::new(2, 2);
+/// let mut sim = Simulation::new(cfg, PingPong { done: false });
+/// sim.run_to_quiescence(10_000);
+/// assert!(sim.protocol().done);
+/// ```
+#[derive(Debug)]
+pub struct Simulation<P: Protocol> {
+    kernel: Kernel<P::Msg, P::Timer>,
+    proto: P,
+    started: bool,
+}
+
+impl<P: Protocol> Simulation<P> {
+    /// Creates a simulation; `Protocol::on_start` runs at the first step.
+    pub fn new(cfg: NetworkConfig, proto: P) -> Self {
+        Simulation {
+            kernel: Kernel::new(cfg),
+            proto,
+            started: false,
+        }
+    }
+
+    /// Current simulated time.
+    pub fn now(&self) -> SimTime {
+        self.kernel.now()
+    }
+
+    /// The protocol under simulation.
+    pub fn protocol(&self) -> &P {
+        &self.proto
+    }
+
+    /// Mutable access to the protocol (for workload inspection between
+    /// phases).
+    pub fn protocol_mut(&mut self) -> &mut P {
+        &mut self.proto
+    }
+
+    /// The kernel (topology queries, trace, ledger).
+    pub fn kernel(&self) -> &Kernel<P::Msg, P::Timer> {
+        &self.kernel
+    }
+
+    /// Mutable kernel access (enable tracing, custom counters).
+    pub fn kernel_mut(&mut self) -> &mut Kernel<P::Msg, P::Timer> {
+        &mut self.kernel
+    }
+
+    /// The cost ledger.
+    pub fn ledger(&self) -> &CostLedger {
+        self.kernel.ledger()
+    }
+
+    /// Runs the protocol's `on_start` hook plus anything it scheduled at
+    /// time zero. Called implicitly by the run methods.
+    pub fn start(&mut self) {
+        if !self.started {
+            self.started = true;
+            self.proto.on_start(&mut Ctx { k: &mut self.kernel });
+            self.drain_pending();
+        }
+    }
+
+    /// Processes one timed event (and all protocol events it triggers).
+    /// Returns `false` when the event queue is exhausted.
+    pub fn step(&mut self) -> bool {
+        self.start();
+        if !self.kernel.advance() {
+            return false;
+        }
+        self.drain_pending();
+        true
+    }
+
+    /// Runs until simulated time passes `until` or the queue empties.
+    pub fn run_until(&mut self, until: SimTime) {
+        self.start();
+        while self
+            .kernel
+            .next_event_time()
+            .is_some_and(|t| t <= until)
+        {
+            self.step();
+        }
+    }
+
+    /// Runs for `d` more ticks of simulated time.
+    pub fn run_for(&mut self, d: u64) {
+        let until = self.now() + d;
+        self.run_until(until);
+    }
+
+    /// Runs until no events remain or simulated time exceeds `max_ticks`.
+    /// Returns `true` when the system went quiescent within the bound.
+    pub fn run_to_quiescence(&mut self, max_ticks: u64) -> bool {
+        let deadline = SimTime::from_ticks(max_ticks);
+        self.start();
+        loop {
+            match self.kernel.next_event_time() {
+                None => return true,
+                Some(t) if t > deadline => return false,
+                Some(_) => {
+                    self.step();
+                }
+            }
+        }
+    }
+
+    /// Allows a test or workload driver to act on the protocol directly with
+    /// a kernel context, outside any event.
+    pub fn with_ctx<R>(&mut self, f: impl FnOnce(&mut Ctx<'_, P::Msg, P::Timer>, &mut P) -> R) -> R {
+        self.start();
+        let r = f(&mut Ctx { k: &mut self.kernel }, &mut self.proto);
+        self.drain_pending();
+        r
+    }
+
+    fn drain_pending(&mut self) {
+        while let Some(pe) = self.kernel.take_pending() {
+            let ctx = &mut Ctx { k: &mut self.kernel };
+            match pe {
+                ProtoEvent::MssMsg { at, src, msg } => self.proto.on_mss_msg(ctx, at, src, msg),
+                ProtoEvent::MhMsg { at, src, msg } => self.proto.on_mh_msg(ctx, at, src, msg),
+                ProtoEvent::Timer(t) => self.proto.on_timer(ctx, t),
+                ProtoEvent::Joined { mh, mss, prev } => {
+                    self.proto.on_mh_joined(ctx, mh, mss, prev)
+                }
+                ProtoEvent::Left { mh, mss } => self.proto.on_mh_left(ctx, mh, mss),
+                ProtoEvent::Disconnected { mh, mss } => {
+                    self.proto.on_mh_disconnected(ctx, mh, mss)
+                }
+                ProtoEvent::Reconnected { mh, mss, prev } => {
+                    self.proto.on_mh_reconnected(ctx, mh, mss, prev)
+                }
+                ProtoEvent::SearchFailed {
+                    origin,
+                    target,
+                    msg,
+                } => self.proto.on_search_failed(ctx, origin, target, msg),
+                ProtoEvent::WirelessLost { mss, mh, msg } => {
+                    self.proto.on_wireless_lost(ctx, mss, mh, msg)
+                }
+            }
+        }
+    }
+}

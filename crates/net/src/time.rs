@@ -1,0 +1,107 @@
+//! Simulated time.
+//!
+//! The simulator advances a discrete logical clock measured in *ticks*. The
+//! absolute scale is arbitrary; what matters — and what the paper's cost model
+//! is built on — are the relative magnitudes of wired latency, wireless
+//! latency and search latency configured in
+//! [`LatencyConfig`](crate::config::LatencyConfig).
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::ops::{Add, AddAssign, Sub};
+
+/// An instant of simulated time, in ticks since simulation start.
+///
+/// # Examples
+///
+/// ```
+/// use mobidist_net::time::SimTime;
+/// let t = SimTime::ZERO + 5;
+/// assert_eq!(t.ticks(), 5);
+/// assert_eq!((t + 3) - t, 3);
+/// ```
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct SimTime(u64);
+
+impl SimTime {
+    /// The simulation epoch.
+    pub const ZERO: SimTime = SimTime(0);
+
+    /// A time later than any horizon used in practice.
+    pub const MAX: SimTime = SimTime(u64::MAX);
+
+    /// Creates a time from raw ticks.
+    pub const fn from_ticks(t: u64) -> Self {
+        SimTime(t)
+    }
+
+    /// Ticks since simulation start.
+    pub const fn ticks(self) -> u64 {
+        self.0
+    }
+
+    /// Saturating difference in ticks (`0` when `earlier` is later than `self`).
+    pub fn saturating_since(self, earlier: SimTime) -> u64 {
+        self.0.saturating_sub(earlier.0)
+    }
+}
+
+impl fmt::Display for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "t{}", self.0)
+    }
+}
+
+impl Add<u64> for SimTime {
+    type Output = SimTime;
+    fn add(self, d: u64) -> SimTime {
+        SimTime(self.0.saturating_add(d))
+    }
+}
+
+impl AddAssign<u64> for SimTime {
+    fn add_assign(&mut self, d: u64) {
+        self.0 = self.0.saturating_add(d);
+    }
+}
+
+impl Sub<SimTime> for SimTime {
+    type Output = u64;
+    /// # Panics
+    ///
+    /// Panics in debug builds if `rhs` is later than `self`.
+    fn sub(self, rhs: SimTime) -> u64 {
+        debug_assert!(rhs.0 <= self.0, "time went backwards: {rhs} > {self}");
+        self.0 - rhs.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arithmetic() {
+        let t = SimTime::from_ticks(10);
+        assert_eq!(t + 5, SimTime::from_ticks(15));
+        assert_eq!(SimTime::from_ticks(15) - t, 5);
+        let mut u = t;
+        u += 7;
+        assert_eq!(u.ticks(), 17);
+    }
+
+    #[test]
+    fn saturating_behaviour() {
+        assert_eq!(SimTime::MAX + 1, SimTime::MAX);
+        assert_eq!(SimTime::ZERO.saturating_since(SimTime::from_ticks(9)), 0);
+        assert_eq!(SimTime::from_ticks(9).saturating_since(SimTime::ZERO), 9);
+    }
+
+    #[test]
+    fn ordering_and_display() {
+        assert!(SimTime::ZERO < SimTime::from_ticks(1));
+        assert_eq!(SimTime::from_ticks(42).to_string(), "t42");
+    }
+}

@@ -1,0 +1,118 @@
+//! Lightweight execution tracing.
+//!
+//! Disabled by default; tests and debugging sessions enable it to get a
+//! bounded, ordered log of kernel activity.
+
+use crate::time::SimTime;
+use std::collections::VecDeque;
+
+/// Bounded in-memory trace of kernel activity.
+///
+/// # Examples
+///
+/// ```
+/// use mobidist_net::trace::Trace;
+/// use mobidist_net::time::SimTime;
+///
+/// let mut t = Trace::new(2);
+/// t.enable();
+/// t.record(SimTime::ZERO, || "first".to_string());
+/// t.record(SimTime::ZERO + 1, || "second".to_string());
+/// t.record(SimTime::ZERO + 2, || "third".to_string());
+/// assert_eq!(t.entries().count(), 2); // bounded: oldest dropped
+/// ```
+#[derive(Debug, Clone)]
+pub struct Trace {
+    enabled: bool,
+    cap: usize,
+    entries: VecDeque<(SimTime, String)>,
+}
+
+impl Trace {
+    /// Creates a disabled trace holding at most `cap` entries.
+    pub fn new(cap: usize) -> Self {
+        Trace {
+            enabled: false,
+            cap: cap.max(1),
+            entries: VecDeque::new(),
+        }
+    }
+
+    /// Turns recording on.
+    pub fn enable(&mut self) {
+        self.enabled = true;
+    }
+
+    /// Turns recording off (entries are kept).
+    pub fn disable(&mut self) {
+        self.enabled = false;
+    }
+
+    /// True when recording.
+    pub fn is_enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Records an entry; the message closure is only evaluated when enabled.
+    pub fn record(&mut self, at: SimTime, msg: impl FnOnce() -> String) {
+        if !self.enabled {
+            return;
+        }
+        if self.entries.len() == self.cap {
+            self.entries.pop_front();
+        }
+        self.entries.push_back((at, msg()));
+    }
+
+    /// The recorded entries, oldest first.
+    pub fn entries(&self) -> impl Iterator<Item = &(SimTime, String)> {
+        self.entries.iter()
+    }
+
+    /// True when any recorded entry contains `needle`.
+    pub fn contains(&self, needle: &str) -> bool {
+        self.entries.iter().any(|(_, m)| m.contains(needle))
+    }
+}
+
+impl Default for Trace {
+    fn default() -> Self {
+        Trace::new(4096)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_records_nothing() {
+        let mut t = Trace::new(8);
+        t.record(SimTime::ZERO, || "x".into());
+        assert_eq!(t.entries().count(), 0);
+        assert!(!t.is_enabled());
+    }
+
+    #[test]
+    fn bounded_capacity_drops_oldest() {
+        let mut t = Trace::new(3);
+        t.enable();
+        for i in 0..5 {
+            t.record(SimTime::from_ticks(i), || format!("e{i}"));
+        }
+        let msgs: Vec<&str> = t.entries().map(|(_, m)| m.as_str()).collect();
+        assert_eq!(msgs, vec!["e2", "e3", "e4"]);
+    }
+
+    #[test]
+    fn contains_searches_messages() {
+        let mut t = Trace::default();
+        t.enable();
+        t.record(SimTime::ZERO, || "token at mss3".into());
+        assert!(t.contains("mss3"));
+        assert!(!t.contains("mss4"));
+        t.disable();
+        t.record(SimTime::ZERO, || "mss4".into());
+        assert!(!t.contains("mss4"));
+    }
+}

@@ -1,0 +1,110 @@
+//! A shared campus printer guarded by a token ring.
+//!
+//! Sixteen students with laptops roam among four campus buildings (cells).
+//! A single printer must be used by one student at a time. We compare the
+//! baseline the paper argues against — a token ring threaded through the
+//! *laptops* (R1) — with the paper's redesign, a ring through the
+//! buildings' support stations with the fairness counter (R2′). Half the
+//! students close their laptops mid-run (voluntary disconnection) and
+//! reopen them later.
+//!
+//! Run with:
+//!
+//! ```text
+//! cargo run --example campus_printer
+//! ```
+
+use mobidist::prelude::*;
+
+const BUILDINGS: usize = 4;
+const STUDENTS: usize = 16;
+const HORIZON: u64 = 800_000;
+
+fn network(seed: u64) -> NetworkConfig {
+    NetworkConfig::new(BUILDINGS, STUDENTS)
+        .with_seed(seed)
+        .with_mobility(MobilityConfig::moving(2_000))
+        .with_disconnect(DisconnectConfig {
+            enabled: true,
+            mean_uptime: 40_000,
+            mean_downtime: 5_000,
+            p_supply_prev: 1.0,
+        })
+}
+
+fn print_jobs() -> WorkloadConfig {
+    WorkloadConfig::all_mhs(STUDENTS, 2)
+        .with_think(4_000)
+        .with_hold(200)
+        .with_doze()
+}
+
+fn main() {
+    // Baseline R1: the token visits every laptop, draining every battery
+    // and stalling whenever the next laptop in the ring is closed.
+    let ring: Vec<MhId> = (0..STUDENTS as u32).map(MhId).collect();
+    let mut r1 = Simulation::new(
+        network(7),
+        MutexHarness::new(R1::new(ring, R1DisconnectPolicy::Stall), print_jobs()),
+    );
+    r1.run_until(SimTime::from_ticks(HORIZON));
+    let rep1 = r1.protocol().report();
+
+    // Redesign R2′: the token rings the buildings; laptops speak only to
+    // print (3 wireless messages per job) and can sleep undisturbed.
+    let mut r2 = Simulation::new(
+        network(7),
+        MutexHarness::new(R2::new(BUILDINGS, RingGuard::Counter), print_jobs()),
+    );
+    r2.run_until(SimTime::from_ticks(HORIZON));
+    let rep2 = r2.protocol().report();
+
+    println!("campus printer — {STUDENTS} students, {BUILDINGS} buildings, {HORIZON} ticks\n");
+    println!("                         R1 (ring of laptops)   R2' (ring of buildings)");
+    println!(
+        "jobs printed             {:<22} {}",
+        rep1.completed, rep2.completed
+    );
+    println!(
+        "jobs dropped (offline)   {:<22} {}",
+        rep1.aborted, rep2.aborted
+    );
+    println!(
+        "safety violations        {:<22} {}",
+        rep1.safety_violations, rep2.safety_violations
+    );
+    println!(
+        "doze interruptions       {:<22} {}",
+        r1.ledger().doze_interruptions,
+        r2.ledger().doze_interruptions
+    );
+    println!(
+        "battery drain (energy)   {:<22} {}",
+        r1.ledger().total_energy(),
+        r2.ledger().total_energy()
+    );
+    println!(
+        "total message cost       {:<22} {}",
+        r1.ledger().total_cost(),
+        r2.ledger().total_cost()
+    );
+    let per_job = |energy: u64, done: u64| energy as f64 / done.max(1) as f64;
+    println!(
+        "battery per printed job  {:<22.1} {:.1}",
+        per_job(r1.ledger().total_energy(), rep1.completed),
+        per_job(r2.ledger().total_energy(), rep2.completed)
+    );
+
+    assert_eq!(rep1.safety_violations, 0);
+    assert_eq!(rep2.safety_violations, 0);
+    assert!(
+        rep2.completed >= rep1.completed,
+        "the redesign must not print fewer jobs"
+    );
+    assert!(
+        per_job(r2.ledger().total_energy(), rep2.completed)
+            < per_job(r1.ledger().total_energy(), rep1.completed),
+        "the redesign must drain less battery per job"
+    );
+    assert_eq!(r2.ledger().doze_interruptions, 0, "R2' lets idle laptops sleep");
+}

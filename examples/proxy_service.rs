@@ -1,0 +1,64 @@
+//! A ticket counter served to mobile clients through proxies.
+//!
+//! A classical client-server program — a central counter handing out
+//! sequence numbers — is written for *static* hosts and knows nothing about
+//! mobility. The proxy framework of Section 5 runs it unchanged at the
+//! support stations while eight clients roam. We compare the two proxy
+//! scopes the paper describes: a fixed lifetime proxy (every move must be
+//! reported to it) and the local-MSS proxy (state is handed off on every
+//! move).
+//!
+//! Run with:
+//!
+//! ```text
+//! cargo run --example proxy_service
+//! ```
+
+use mobidist::prelude::*;
+
+const STATIONS: usize = 6;
+const CLIENTS: usize = 8;
+
+fn scenario(dwell: u64) -> NetworkConfig {
+    NetworkConfig::new(STATIONS, CLIENTS)
+        .with_seed(99)
+        .with_mobility(MobilityConfig::moving(dwell))
+}
+
+fn serve(policy: ProxyPolicy, dwell: u64) -> (ProxyReport, u64) {
+    let clients: Vec<MhId> = (0..CLIENTS as u32).map(MhId).collect();
+    let wl = ProxyWorkload {
+        inputs_per_client: 5,
+        mean_interval: 500,
+    };
+    let mut sim = Simulation::new(
+        scenario(dwell),
+        ProxyRuntime::new(CentralCounter::new(), clients, policy, wl),
+    );
+    sim.run_until(SimTime::from_ticks(400_000));
+    (sim.protocol().report(), sim.ledger().total_cost())
+}
+
+fn main() {
+    println!("ticket counter behind proxies — {CLIENTS} roaming clients, {STATIONS} stations\n");
+    println!("dwell   policy     tickets   loc-updates   handoffs   stale   cost");
+    for dwell in [4_000u64, 800, 250] {
+        for policy in [ProxyPolicy::Fixed, ProxyPolicy::LocalMss] {
+            let (r, cost) = serve(policy, dwell);
+            println!(
+                "{:<7} {:<10} {:<9} {:<13} {:<10} {:<7} {}",
+                dwell,
+                format!("{policy:?}"),
+                format!("{}/{}", r.outputs_delivered, r.inputs_sent),
+                r.loc_updates,
+                r.handoffs,
+                r.stale_outputs,
+                cost
+            );
+        }
+    }
+    println!();
+    println!("the static algorithm never changed — the proxy layer absorbed all mobility");
+    println!("fixed proxies pay per MOVE (location updates); local proxies pay per move too");
+    println!("(handoffs), but keep inputs and outputs on the local wireless hop.");
+}

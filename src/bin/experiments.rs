@@ -1,0 +1,100 @@
+//! Command-line runner for the paper's experiment suite.
+//!
+//! ```text
+//! cargo run --release --bin experiments -- all
+//! cargo run --release --bin experiments -- e1 e5 --quick
+//! cargo run --release --bin experiments -- --list
+//! ```
+//!
+//! Equivalent to running the `harness = false` bench targets, but from one
+//! binary with experiment selection.
+
+use mobidist_bench::{exp_group, exp_model, exp_mutex, exp_proxy, Table};
+use std::process::ExitCode;
+
+const EXPERIMENTS: &[(&str, &str)] = &[
+    ("e0", "system-model message costs (Section 2)"),
+    ("e1", "L1 vs L2 cost per execution (3.1.1)"),
+    ("e2", "R1 vs R2 cost per traversal (3.1.2)"),
+    ("e3", "wireless ops / battery per execution"),
+    ("e4", "L1/L2 factor vs C_search/C_fixed"),
+    ("e5", "group-message cost vs MOB/MSG (Section 4)"),
+    ("e6", "location-view size vs locality (4.3)"),
+    ("e7", "progress under disconnection"),
+    ("e8", "doze interruptions, R1 vs R2'"),
+    ("e9", "fairness guards and the malicious MH"),
+    ("e10", "proxy policies vs move rate (Section 5)"),
+    ("e11", "exactly-once extension under churn (ref [1])"),
+];
+
+fn run_one(name: &str, quick: bool) -> Option<Table> {
+    Some(match name {
+        "e0" => exp_model::run(),
+        "e1" => exp_mutex::e1_lamport(quick),
+        "e2" => exp_mutex::e2_ring(quick),
+        "e3" => exp_mutex::e3_energy(quick),
+        "e4" => exp_mutex::e4_search_ratio(quick),
+        "e5" => exp_group::e5_group_strategies(quick),
+        "e6" => exp_group::e6_locality(quick),
+        "e7" => exp_mutex::e7_disconnection(quick),
+        "e8" => exp_mutex::e8_doze(quick),
+        "e9" => exp_mutex::e9_fairness(quick),
+        "e10" => exp_proxy::e10_proxy(quick),
+        "e11" => exp_group::e11_exactly_once(quick),
+        _ => return None,
+    })
+}
+
+fn print_list() {
+    println!("available experiments:");
+    for (id, what) in EXPERIMENTS {
+        println!("  {id:<5} {what}");
+    }
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick" || a == "-q");
+    let list = args.iter().any(|a| a == "--list" || a == "-l");
+    let csv = args.iter().any(|a| a == "--csv");
+    let selected: Vec<&str> = args
+        .iter()
+        .filter(|a| !a.starts_with('-'))
+        .map(String::as_str)
+        .collect();
+
+    if list {
+        print_list();
+        return ExitCode::SUCCESS;
+    }
+    if selected.is_empty() {
+        eprintln!("usage: experiments [--quick] [--csv] <e0..e11 | all>...");
+        print_list();
+        return ExitCode::FAILURE;
+    }
+
+    let names: Vec<&str> = if selected.contains(&"all") {
+        EXPERIMENTS.iter().map(|(id, _)| *id).collect()
+    } else {
+        selected
+    };
+
+    for name in names {
+        match run_one(name, quick) {
+            Some(t) => {
+                if csv {
+                    println!("# {name}");
+                    print!("{}", t.to_csv());
+                } else {
+                    println!("{t}");
+                }
+            }
+            None => {
+                eprintln!("unknown experiment '{name}'");
+                print_list();
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,58 @@
+//! # mobidist — distributed algorithms for mobile hosts
+//!
+//! A complete, tested reproduction of **B. R. Badrinath, Arup Acharya &
+//! Tomasz Imieliński, "Structuring Distributed Algorithms for Mobile
+//! Hosts", ICDCS 1994** — the two-tier system model, both mutual-exclusion
+//! redesigns with their baselines, group location management, and the proxy
+//! framework.
+//!
+//! This facade crate re-exports the workspace:
+//!
+//! * [`net`] — the two-tier network simulator (MSSs, MHs, cells, FIFO
+//!   channels, search, mobility, disconnection, cost/energy ledger);
+//! * [`clock`] — Lamport logical clocks;
+//! * [`mutex`] — the mutual-exclusion suite: L1, L2, R1, R2/R2′/token-list
+//!   under a shared workload + invariant harness;
+//! * [`group`] — pure-search, always-inform and location-view group
+//!   location management;
+//! * [`proxy`] — the proxy framework lifting static-host algorithms to
+//!   mobile clients;
+//! * [`cost`] — the paper's closed-form cost formulas.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use mobidist::prelude::*;
+//!
+//! // 4 support stations, 16 mobile hosts, every host wants the critical
+//! // section twice while roaming between cells.
+//! let cfg = NetworkConfig::new(4, 16)
+//!     .with_seed(42)
+//!     .with_mobility(MobilityConfig::moving(500));
+//! let workload = WorkloadConfig::all_mhs(16, 2);
+//! let mut sim = Simulation::new(cfg, MutexHarness::new(L2::new(4), workload));
+//! sim.run_until(SimTime::from_ticks(5_000_000));
+//!
+//! let report = sim.protocol().report();
+//! assert!(report.is_clean_and_live());
+//! assert_eq!(report.completed, 32);
+//! ```
+
+#![warn(missing_docs)]
+
+pub use mobidist_clock as clock;
+pub use mobidist_core as mutex;
+pub use mobidist_cost as cost;
+pub use mobidist_group as group;
+pub use mobidist_net as net;
+pub use mobidist_proxy as proxy;
+
+/// Everything needed to build and run simulations of the paper's systems.
+pub mod prelude {
+    pub use mobidist_clock::{LamportClock, Timestamp};
+    pub use mobidist_core::prelude::*;
+    pub use mobidist_cost::Params;
+    pub use mobidist_group::prelude::*;
+    pub use mobidist_net::prelude::*;
+    pub use mobidist_proxy::prelude::*;
+}

@@ -1,0 +1,220 @@
+//! Cross-crate integration scenarios: the paper's structuring principle
+//! verified end-to-end — for each pair of baseline and redesign, the
+//! redesigned algorithm shifts load off the wireless links and off the
+//! mobile hosts' batteries, under one shared seeded world.
+
+use mobidist::prelude::*;
+
+const SEED: u64 = 20260705;
+
+fn world(m: usize, n: usize) -> NetworkConfig {
+    NetworkConfig::new(m, n)
+        .with_seed(SEED)
+        .with_mobility(MobilityConfig::moving(800))
+}
+
+#[test]
+fn principle_holds_for_lamport_pair() {
+    let (m, n) = (4, 12);
+    let wl = WorkloadConfig::all_mhs(n, 2);
+
+    let mut l1 = Simulation::new(
+        world(m, n),
+        MutexHarness::new(L1::new(wl.requesters.clone()), wl.clone()),
+    );
+    l1.run_until(SimTime::from_ticks(3_000_000));
+    let rep1 = l1.protocol().report();
+
+    let mut l2 = Simulation::new(world(m, n), MutexHarness::new(L2::new(m), wl));
+    l2.run_until(SimTime::from_ticks(3_000_000));
+    let rep2 = l2.protocol().report();
+
+    assert_eq!(rep1.safety_violations, 0);
+    assert_eq!(rep2.safety_violations, 0);
+    assert_eq!(rep1.completed, 24);
+    assert_eq!(rep2.completed, 24);
+
+    // The principle: the redesign pushes work onto the static segment.
+    assert!(
+        l2.ledger().wireless_msgs < l1.ledger().wireless_msgs / 4,
+        "L2 wireless {} vs L1 {}",
+        l2.ledger().wireless_msgs,
+        l1.ledger().wireless_msgs
+    );
+    assert!(
+        l2.ledger().total_energy() < l1.ledger().total_energy() / 4,
+        "battery at MHs must collapse"
+    );
+    assert!(
+        l2.ledger().searches < l1.ledger().searches,
+        "search count must drop (constant vs O(N) per execution)"
+    );
+    // ... possibly at the price of more *fixed-network* messages, which is
+    // exactly the trade the paper advocates.
+    assert!(l2.ledger().fixed_msgs > 0);
+}
+
+#[test]
+fn principle_holds_for_ring_pair() {
+    let (m, n) = (4, 12);
+    let wl = WorkloadConfig::only(vec![MhId(0), MhId(5), MhId(9)], 2).with_doze();
+    let horizon = 400_000;
+
+    let ring: Vec<MhId> = (0..n as u32).map(MhId).collect();
+    let mut r1 = Simulation::new(
+        world(m, n),
+        MutexHarness::new(R1::new(ring, R1DisconnectPolicy::Stall), wl.clone()),
+    );
+    r1.run_until(SimTime::from_ticks(horizon));
+    let rep1 = r1.protocol().report();
+
+    let mut r2 = Simulation::new(
+        world(m, n),
+        MutexHarness::new(R2::new(m, RingGuard::Counter), wl),
+    );
+    r2.run_until(SimTime::from_ticks(horizon));
+    let rep2 = r2.protocol().report();
+
+    assert_eq!(rep1.safety_violations, 0);
+    assert_eq!(rep2.safety_violations, 0);
+    assert_eq!(rep2.completed, 6, "{rep2:?}");
+
+    // Passive dozing MHs are never interrupted by R2', always by R1.
+    assert!(r1.ledger().doze_interruptions > 0);
+    assert_eq!(r2.ledger().doze_interruptions, 0);
+    // Energy per completed request collapses.
+    let per1 = r1.ledger().total_energy() as f64 / rep1.completed.max(1) as f64;
+    let per2 = r2.ledger().total_energy() as f64 / rep2.completed.max(1) as f64;
+    assert!(per2 < per1, "energy/request: R2' {per2} vs R1 {per1}");
+}
+
+#[test]
+fn group_strategies_rank_as_the_paper_predicts_per_regime() {
+    let members: Vec<MhId> = (0..8u32).map(MhId).collect();
+    let run = |mobile: bool, which: &str| -> (u64, f64) {
+        let mut cfg = NetworkConfig::new(8, 8)
+            .with_seed(SEED)
+            .with_placement(Placement::Clustered { cells: 2 });
+        if mobile {
+            cfg = cfg.with_mobility(MobilityConfig {
+                enabled: true,
+                mean_dwell: 150,
+                mean_gap: 10,
+                pattern: MovePattern::Locality {
+                    p_local: 0.8,
+                    home_span: 2,
+                },
+            });
+        }
+        let msgs = 12;
+        let wl = GroupWorkload::new(members.clone(), msgs, 300);
+        let horizon = 12 * 300 * 2;
+        macro_rules! go {
+            ($s:expr) => {{
+                let mut sim = Simulation::new(cfg, GroupHarness::new($s, wl));
+                sim.run_until(SimTime::from_ticks(horizon as u64));
+                let r = sim.protocol().report();
+                (sim.ledger().total_cost(), r.delivery_ratio())
+            }};
+        }
+        match which {
+            "ps" => go!(PureSearch::new(members.clone())),
+            "ai" => go!(AlwaysInform::new(members.clone())),
+            "lv" => go!(LocationView::new(members.clone(), MssId(0))),
+            _ => unreachable!(),
+        }
+    };
+
+    // Static regime: AI and LV beat PS (C_fixed hops beat searches).
+    let (ps0, d_ps0) = run(false, "ps");
+    let (ai0, d_ai0) = run(false, "ai");
+    let (lv0, d_lv0) = run(false, "lv");
+    assert!(d_ps0 == 1.0 && d_ai0 == 1.0 && d_lv0 == 1.0);
+    assert!(ai0 < ps0, "static: AI {ai0} < PS {ps0}");
+    assert!(lv0 < ps0, "static: LV {lv0} < PS {ps0}");
+
+    // Mobile regime with a localised group: LV beats AI decisively.
+    let (ai1, _) = run(true, "ai");
+    let (lv1, d_lv1) = run(true, "lv");
+    assert!(lv1 < ai1 / 2, "mobile: LV {lv1} ≪ AI {ai1}");
+    assert!(d_lv1 > 0.8, "LV still delivers: {d_lv1}");
+}
+
+#[test]
+fn proxy_layer_makes_the_static_algorithm_portable() {
+    // The same CentralCounter byte-for-byte serves static and mobile
+    // populations; only the runtime policy changes.
+    let clients: Vec<MhId> = (0..6u32).map(MhId).collect();
+    let wl = ProxyWorkload {
+        inputs_per_client: 4,
+        mean_interval: 200,
+    };
+    for mobile in [false, true] {
+        for policy in [ProxyPolicy::Fixed, ProxyPolicy::LocalMss] {
+            let mut cfg = NetworkConfig::new(4, 6).with_seed(SEED);
+            if mobile {
+                cfg = cfg.with_mobility(MobilityConfig::moving(400));
+            }
+            let mut sim = Simulation::new(
+                cfg,
+                ProxyRuntime::new(CentralCounter::new(), clients.clone(), policy, wl.clone()),
+            );
+            sim.run_until(SimTime::from_ticks(1_000_000));
+            let r = sim.protocol().report();
+            assert_eq!(r.inputs_sent, 24, "{mobile} {policy:?}");
+            assert_eq!(r.outputs_delivered, 24, "{mobile} {policy:?}: {r:?}");
+            assert_eq!(sim.protocol().algorithm().value(), 24);
+        }
+    }
+}
+
+#[test]
+fn measured_costs_match_closed_forms_across_the_stack() {
+    // One place where simulator and formula crates meet: static single
+    // executions must match the paper's algebra to the unit.
+    let p = Params::default();
+    let (m, n) = (6, 10);
+
+    let wl = WorkloadConfig::only(vec![MhId(0)], 1);
+    let mut l1 = Simulation::new(
+        NetworkConfig::new(m, n).with_seed(1),
+        MutexHarness::new(L1::new((0..n as u32).map(MhId).collect()), wl.clone()),
+    );
+    l1.run_until(SimTime::from_ticks(10_000_000));
+    assert_eq!(
+        l1.ledger().total_cost(),
+        mobidist::cost::l1_execution_cost(n as u64, p)
+    );
+
+    let mut l2 = Simulation::new(
+        NetworkConfig::new(m, n).with_seed(1),
+        MutexHarness::new(L2::new(m), wl),
+    );
+    l2.run_until(SimTime::from_ticks(10_000_000));
+    // Static initiator ⇒ the release relay is local: formula minus C_fixed.
+    assert_eq!(
+        l2.ledger().total_cost(),
+        mobidist::cost::l2_execution_cost(m as u64, p) - p.c_fixed
+    );
+}
+
+#[test]
+fn whole_stack_is_deterministic_per_seed() {
+    let go = |seed: u64| -> Vec<u64> {
+        let mut out = Vec::new();
+        let wl = WorkloadConfig::all_mhs(8, 1);
+        let mut sim = Simulation::new(
+            NetworkConfig::new(4, 8)
+                .with_seed(seed)
+                .with_mobility(MobilityConfig::moving(300)),
+            MutexHarness::new(L2::new(4), wl),
+        );
+        sim.run_until(SimTime::from_ticks(500_000));
+        out.push(sim.ledger().total_cost());
+        out.push(sim.ledger().moves);
+        out.push(sim.protocol().report().completed);
+        out
+    };
+    assert_eq!(go(5), go(5));
+    assert_ne!(go(5), go(6), "different seeds explore different worlds");
+}

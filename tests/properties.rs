@@ -1,0 +1,244 @@
+//! Property-based tests over the whole stack: for randomly drawn network
+//! shapes, cost parameters, seeds and workloads, the core invariants of the
+//! paper's algorithms must hold.
+
+use mobidist::prelude::*;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// L2 never violates mutual exclusion or timestamp ordering, and serves
+    /// every request, whatever the network shape, seed and mobility.
+    #[test]
+    fn prop_l2_safe_live_ordered(
+        m in 2usize..6,
+        n in 2usize..10,
+        seed in 0u64..1000,
+        dwell in prop::option::of(100u64..2000),
+    ) {
+        let mut cfg = NetworkConfig::new(m, n).with_seed(seed);
+        if let Some(d) = dwell {
+            cfg = cfg.with_mobility(MobilityConfig::moving(d));
+        }
+        let wl = WorkloadConfig::all_mhs(n, 1);
+        let mut sim = Simulation::new(cfg, MutexHarness::new(L2::new(m), wl));
+        sim.run_until(SimTime::from_ticks(20_000_000));
+        let r = sim.protocol().report();
+        prop_assert_eq!(r.safety_violations, 0);
+        prop_assert_eq!(r.order_violations, 0);
+        prop_assert_eq!(r.completed, n as u64, "{:?}", r);
+    }
+
+    /// The R2 family preserves mutual exclusion and single-token semantics
+    /// under every guard and random mobility.
+    #[test]
+    fn prop_r2_safe_single_token(
+        m in 2usize..6,
+        n in 2usize..8,
+        seed in 0u64..1000,
+        guard_idx in 0usize..3,
+    ) {
+        let guard = [RingGuard::Plain, RingGuard::Counter, RingGuard::TokenList][guard_idx];
+        let cfg = NetworkConfig::new(m, n)
+            .with_seed(seed)
+            .with_mobility(MobilityConfig::moving(500));
+        let wl = WorkloadConfig::all_mhs(n, 1).with_think(30);
+        let mut sim = Simulation::new(cfg, MutexHarness::new(R2::new(m, guard), wl));
+        sim.run_until(SimTime::from_ticks(300_000));
+        let r = sim.protocol().report();
+        prop_assert_eq!(r.safety_violations, 0);
+        prop_assert_eq!(r.completed, n as u64, "{:?}", r);
+        // Token conservation: at most one MSS believes it holds the token.
+        prop_assert!(sim.protocol().algorithm().stations_with_token() <= 1);
+    }
+
+    /// L1's measured cost equals the paper's closed form exactly on static
+    /// networks, for any population and cost parameters.
+    #[test]
+    fn prop_l1_cost_formula_exact(
+        m in 2usize..6,
+        n in 2usize..12,
+        seed in 0u64..500,
+        cw in 1u64..20,
+        cs in 1u64..20,
+    ) {
+        let cost = CostModel::new(1, cw, cs.max(1));
+        let cfg = NetworkConfig::new(m, n).with_seed(seed).with_cost(cost);
+        let wl = WorkloadConfig::only(vec![MhId(0)], 1);
+        let algo = L1::new((0..n as u32).map(MhId).collect());
+        let mut sim = Simulation::new(cfg, MutexHarness::new(algo, wl));
+        sim.run_until(SimTime::from_ticks(20_000_000));
+        prop_assert_eq!(sim.protocol().report().completed, 1);
+        let p = Params { c_fixed: 1, c_wireless: cw, c_search: cs.max(1) };
+        prop_assert_eq!(
+            sim.ledger().total_cost(),
+            mobidist::cost::l1_execution_cost(n as u64, p)
+        );
+    }
+
+    /// Group messages on a static network are delivered exactly once to
+    /// every member, by every strategy.
+    #[test]
+    fn prop_group_exactly_once_static(
+        m in 2usize..8,
+        g in 2usize..8,
+        seed in 0u64..500,
+        which in 0usize..3,
+    ) {
+        let members: Vec<MhId> = (0..g as u32).map(MhId).collect();
+        let cfg = NetworkConfig::new(m, g).with_seed(seed);
+        let wl = GroupWorkload::new(members.clone(), 5, 50);
+        let report = match which {
+            0 => {
+                let mut sim = Simulation::new(cfg, GroupHarness::new(PureSearch::new(members), wl));
+                sim.run_until(SimTime::from_ticks(1_000_000));
+                sim.protocol().report()
+            }
+            1 => {
+                let mut sim = Simulation::new(cfg, GroupHarness::new(AlwaysInform::new(members), wl));
+                sim.run_until(SimTime::from_ticks(1_000_000));
+                sim.protocol().report()
+            }
+            _ => {
+                let mut sim = Simulation::new(
+                    cfg,
+                    GroupHarness::new(LocationView::new(members, MssId(0)), wl),
+                );
+                sim.run_until(SimTime::from_ticks(1_000_000));
+                sim.protocol().report()
+            }
+        };
+        prop_assert_eq!(report.sent, 5);
+        prop_assert_eq!(report.missed, 0);
+        prop_assert_eq!(report.duplicates, 0);
+        prop_assert_eq!(report.delivered, report.expected);
+    }
+
+    /// The location view converges to exactly the set of occupied cells
+    /// after any sequence of forced member moves.
+    #[test]
+    fn prop_location_view_converges(
+        m in 3usize..8,
+        g in 2usize..6,
+        seed in 0u64..500,
+        moves in prop::collection::vec((0u32..6, 0u32..8), 1..12),
+    ) {
+        let members: Vec<MhId> = (0..g as u32).map(MhId).collect();
+        let cfg = NetworkConfig::new(m, g).with_seed(seed);
+        let wl = GroupWorkload::new(members.clone(), 0, 100);
+        let mut sim = Simulation::new(
+            cfg,
+            GroupHarness::new(LocationView::new(members, MssId(0)), wl),
+        );
+        for (mh, cell) in moves {
+            let mh = MhId(mh % g as u32);
+            let cell = MssId(cell % m as u32);
+            sim.with_ctx(|ctx, _| {
+                if ctx.current_cell(mh) != Some(cell) {
+                    ctx.initiate_move(mh, Some(cell));
+                }
+            });
+            // Let each move fully settle before the next (sequential moves;
+            // concurrency is exercised by the churn tests).
+            sim.run_to_quiescence(5_000_000);
+        }
+        prop_assert!(sim.protocol().strategy().is_consistent());
+    }
+
+    /// Ledger arithmetic: total cost always decomposes into its parts, and
+    /// deltas of later snapshots never underflow.
+    #[test]
+    fn prop_ledger_decomposition(
+        m in 2usize..6,
+        n in 2usize..8,
+        seed in 0u64..500,
+    ) {
+        let cfg = NetworkConfig::new(m, n)
+            .with_seed(seed)
+            .with_mobility(MobilityConfig::moving(200));
+        let wl = WorkloadConfig::all_mhs(n, 1);
+        let mut sim = Simulation::new(cfg, MutexHarness::new(L2::new(m), wl));
+        sim.run_until(SimTime::from_ticks(5_000));
+        let early = sim.ledger().clone();
+        sim.run_until(SimTime::from_ticks(200_000));
+        let late = sim.ledger().clone();
+        let d = late.delta(&early);
+        prop_assert_eq!(d.total_cost(), d.fixed_cost + d.wireless_cost + d.search_cost);
+        prop_assert!(late.total_cost() >= early.total_cost());
+        prop_assert_eq!(
+            late.wireless_msgs - early.wireless_msgs,
+            d.wireless_msgs
+        );
+    }
+
+    /// Runs are bit-reproducible: identical seeds give identical ledgers.
+    #[test]
+    fn prop_determinism(seed in 0u64..300) {
+        let go = || {
+            let cfg = NetworkConfig::new(3, 6)
+                .with_seed(seed)
+                .with_mobility(MobilityConfig::moving(250));
+            let wl = WorkloadConfig::all_mhs(6, 1);
+            let mut sim = Simulation::new(cfg, MutexHarness::new(L2::new(3), wl));
+            sim.run_until(SimTime::from_ticks(100_000));
+            sim.ledger().clone()
+        };
+        prop_assert_eq!(go(), go());
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// The exactly-once extension holds its three guarantees — no miss, no
+    /// duplicate, one global total order — under arbitrary churn schedules.
+    #[test]
+    fn prop_exactly_once_invariants(
+        m in 3usize..8,
+        g in 2usize..8,
+        seed in 0u64..400,
+        dwell in 80u64..1500,
+        msgs in 3usize..15,
+    ) {
+        let members: Vec<MhId> = (0..g as u32).map(MhId).collect();
+        let cfg = NetworkConfig::new(m, g)
+            .with_seed(seed)
+            .with_mobility(MobilityConfig::moving(dwell));
+        let wl = GroupWorkload::new(members.clone(), msgs, 50);
+        let mut sim = Simulation::new(
+            cfg,
+            GroupHarness::new(ExactlyOnce::new(members, MssId(0)), wl),
+        );
+        // Run past the last send, then give stragglers time to land.
+        sim.run_until(SimTime::from_ticks(60 * msgs as u64 + 50_000));
+        let r = sim.protocol().report();
+        prop_assert_eq!(r.sent, msgs as u64);
+        prop_assert_eq!(r.missed, 0, "{:?}", r);
+        prop_assert_eq!(r.duplicates, 0, "{:?}", r);
+        prop_assert!(sim.protocol().total_order_consistent());
+    }
+
+    /// The adaptive proxy policy serves every interaction for any radius.
+    #[test]
+    fn prop_adaptive_proxy_serves_all(
+        m in 3usize..8,
+        n in 2usize..6,
+        seed in 0u64..400,
+        radius in 0u32..4,
+    ) {
+        let clients: Vec<MhId> = (0..n as u32).map(MhId).collect();
+        let cfg = NetworkConfig::new(m, n)
+            .with_seed(seed)
+            .with_mobility(MobilityConfig::moving(400));
+        let wl = ProxyWorkload { inputs_per_client: 2, mean_interval: 150 };
+        let mut sim = Simulation::new(
+            cfg,
+            ProxyRuntime::new(EchoService::new(), clients, ProxyPolicy::Adaptive { radius }, wl),
+        );
+        sim.run_until(SimTime::from_ticks(2_000_000));
+        let r = sim.protocol().report();
+        prop_assert_eq!(r.inputs_sent, 2 * n as u64);
+        prop_assert_eq!(r.outputs_delivered, r.inputs_sent, "{:?}", r);
+    }
+}

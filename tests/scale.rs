@@ -1,0 +1,99 @@
+//! Larger-population runs: the paper's regime is `N ≫ M` — many mobile
+//! hosts, few support stations. These tests exercise that regime and pin
+//! down the scaling behaviour the redesigns were built for.
+
+use mobidist::prelude::*;
+
+#[test]
+fn l2_serves_two_hundred_mobile_hosts() {
+    // N = 200 ≫ M = 8, everyone requests once, with mobility.
+    let (m, n) = (8, 200);
+    let cfg = NetworkConfig::new(m, n)
+        .with_seed(1)
+        .with_mobility(MobilityConfig::moving(2_000));
+    let wl = WorkloadConfig::all_mhs(n, 1).with_think(2_000).with_hold(3);
+    let mut sim = Simulation::new(cfg, MutexHarness::new(L2::new(m), wl));
+    sim.run_until(SimTime::from_ticks(100_000_000));
+    let r = sim.protocol().report();
+    assert_eq!(r.safety_violations, 0);
+    assert_eq!(r.order_violations, 0);
+    assert_eq!(r.completed, 200, "{r:?}");
+    // Wireless load stays at exactly 3 messages per execution even at this
+    // scale — the redesign's defining property.
+    assert_eq!(sim.ledger().wireless_msgs, 3 * 200);
+}
+
+#[test]
+fn r2_counter_serves_a_crowd_fairly() {
+    let (m, n) = (6, 120);
+    let cfg = NetworkConfig::new(m, n).with_seed(2);
+    let wl = WorkloadConfig::all_mhs(n, 1).with_think(100).with_hold(2);
+    let mut sim = Simulation::new(cfg, MutexHarness::new(R2::new(m, RingGuard::Counter), wl));
+    sim.run_until(SimTime::from_ticks(1_500_000));
+    let r = sim.protocol().report();
+    assert_eq!(r.safety_violations, 0);
+    assert_eq!(r.completed, 120, "{r:?}");
+    assert_eq!(sim.protocol().algorithm().max_services_per_traversal(), 1);
+}
+
+#[test]
+fn l1_at_scale_shows_its_quadratic_message_bill() {
+    // Even a modest N makes the baseline's cost explode: N executions each
+    // cost 3(N−1) MH→MH messages ⇒ ~3N² messages total.
+    let (m, n) = (4, 60);
+    let cfg = NetworkConfig::new(m, n).with_seed(3);
+    let wl = WorkloadConfig::all_mhs(n, 1).with_think(3_000).with_hold(2);
+    let algo = L1::new(wl.requesters.clone());
+    let mut sim = Simulation::new(cfg, MutexHarness::new(algo, wl));
+    sim.run_until(SimTime::from_ticks(100_000_000));
+    let r = sim.protocol().report();
+    assert_eq!(r.completed, 60, "{r:?}");
+    let expected_msgs = 3 * (n as u64 - 1) * n as u64; // 10 620
+    assert_eq!(sim.ledger().wireless_msgs, 2 * expected_msgs);
+    assert_eq!(
+        sim.ledger().searches, expected_msgs,
+        "every single message needed a search"
+    );
+}
+
+#[test]
+fn location_view_scales_with_cells_not_members() {
+    // 60 members packed into 4 of 20 cells: the static fan-out per message
+    // must track |LV| = 4, not |G| = 60.
+    let (m, g) = (20, 60);
+    let members: Vec<MhId> = (0..g as u32).map(MhId).collect();
+    let cfg = NetworkConfig::new(m, g)
+        .with_seed(4)
+        .with_placement(Placement::Clustered { cells: 4 });
+    let wl = GroupWorkload::new(members.clone(), 10, 50);
+    let mut sim = Simulation::new(
+        cfg,
+        GroupHarness::new(LocationView::new(members, MssId(0)), wl),
+    );
+    sim.run_until(SimTime::from_ticks(1_000_000));
+    let r = sim.protocol().report();
+    assert_eq!(r.missed, 0);
+    // 10 messages × (|LV|−1) = 30 fixed messages; nothing proportional to |G|.
+    assert_eq!(sim.ledger().fixed_msgs, 10 * 3);
+    // Wireless: 1 uplink + 59 downlinks per message.
+    assert_eq!(sim.ledger().wireless_msgs, 10 * 60);
+}
+
+#[test]
+fn exactly_once_handles_a_large_roaming_group() {
+    let (m, g) = (10, 80);
+    let members: Vec<MhId> = (0..g as u32).map(MhId).collect();
+    let cfg = NetworkConfig::new(m, g)
+        .with_seed(5)
+        .with_mobility(MobilityConfig::moving(500));
+    let wl = GroupWorkload::new(members.clone(), 15, 100);
+    let mut sim = Simulation::new(
+        cfg,
+        GroupHarness::new(ExactlyOnce::new(members, MssId(0)), wl),
+    );
+    sim.run_until(SimTime::from_ticks(200_000));
+    let r = sim.protocol().report();
+    assert_eq!(r.sent, 15);
+    assert_eq!(r.missed, 0, "{r:?}");
+    assert_eq!(r.duplicates, 0, "{r:?}");
+}
