@@ -1,0 +1,24 @@
+# Convenience targets; see ci/check.sh for the full gate.
+
+.PHONY: build test check bench perf quick
+
+build:
+	cargo build --workspace --release
+
+test:
+	cargo test --workspace -q
+
+check:
+	./ci/check.sh
+
+# All experiment tables + micro-benchmarks.
+bench:
+	cargo bench --workspace
+
+# Kernel wall-time/events-per-second report -> BENCH_kernel.json.
+perf:
+	cargo run --release --bin perfreport
+
+# Fast small-scale experiment tables.
+quick:
+	cargo run --release --bin experiments -- all --quick

@@ -1,0 +1,27 @@
+#!/usr/bin/env bash
+# Local CI gate: formatting, lints, build, tests.
+#
+# Run from the repository root:
+#   ./ci/check.sh            # full gate
+#   ./ci/check.sh --fast     # skip the release build
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+fast=0
+[[ "${1:-}" == "--fast" ]] && fast=1
+
+echo "==> cargo fmt --check"
+cargo fmt --all -- --check
+
+echo "==> cargo clippy (warnings are errors)"
+cargo clippy --workspace --all-targets -- -D warnings
+
+if [[ $fast -eq 0 ]]; then
+  echo "==> cargo build --release"
+  cargo build --workspace --release
+fi
+
+echo "==> cargo test"
+cargo test --workspace -q
+
+echo "==> OK"

@@ -1,13 +1,48 @@
-//! Criterion micro-benchmarks: simulator kernel throughput and end-to-end
-//! algorithm executions. These measure *implementation* speed (how fast the
+//! Micro-benchmarks: simulator kernel throughput and end-to-end algorithm
+//! executions. These measure *implementation* speed (how fast the
 //! reproduction runs), complementing the e*-benches which measure *model*
 //! costs (what the paper predicts).
+//!
+//! Hand-rolled harness (no external crates): each benchmark runs a short
+//! warm-up, then enough timed iterations to fill a fixed measurement window,
+//! and reports the median per-iteration wall time. Run with
+//! `cargo bench --bench micro`.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use mobidist_core::prelude::*;
 use mobidist_group::prelude::*;
+use mobidist_net::channel::ChainKey;
+use mobidist_net::event::EventQueue;
+use mobidist_net::hash::FxHasher;
 use mobidist_net::prelude::*;
+use std::collections::hash_map::DefaultHasher;
+use std::hash::{Hash, Hasher};
 use std::hint::black_box;
+use std::time::{Duration, Instant};
+
+/// Times `f` repeatedly and prints the median per-iteration wall time.
+///
+/// Warm-up: 3 untimed calls. Measurement: at least 10 samples, continuing
+/// until ~200 ms of total measured time so fast closures get many samples.
+fn bench(name: &str, mut f: impl FnMut()) {
+    for _ in 0..3 {
+        f();
+    }
+    let budget = Duration::from_millis(200);
+    let mut samples: Vec<Duration> = Vec::new();
+    let started = Instant::now();
+    while samples.len() < 10 || started.elapsed() < budget {
+        let t0 = Instant::now();
+        f();
+        samples.push(t0.elapsed());
+        if samples.len() >= 100_000 {
+            break;
+        }
+    }
+    samples.sort();
+    let median = samples[samples.len() / 2];
+    let iters = samples.len();
+    println!("{name:<44} {median:>12.2?}  ({iters} iters)");
+}
 
 /// A protocol that keeps `depth` fixed-network messages bouncing between
 /// MSS pairs forever — pure kernel overhead.
@@ -34,72 +69,127 @@ impl Protocol for Bouncer {
     fn on_mh_msg(&mut self, _: &mut Ctx<'_, u64, ()>, _: MhId, _: Src, _: u64) {}
 }
 
-fn kernel_throughput(c: &mut Criterion) {
-    let mut g = c.benchmark_group("kernel");
+fn kernel_throughput() {
     for depth in [16usize, 256] {
-        g.bench_with_input(
-            BenchmarkId::new("fixed_msgs_10k_events", depth),
-            &depth,
-            |b, &depth| {
-                b.iter(|| {
-                    let cfg = NetworkConfig::new(8, 8).with_seed(1);
-                    let mut sim = Simulation::new(cfg, Bouncer { depth });
-                    for _ in 0..10_000 {
-                        if !sim.step() {
-                            break;
-                        }
-                    }
-                    black_box(sim.ledger().fixed_msgs)
-                })
-            },
-        );
+        bench(&format!("kernel/fixed_msgs_10k_events/{depth}"), || {
+            let cfg = NetworkConfig::new(8, 8).with_seed(1);
+            let mut sim = Simulation::new(cfg, Bouncer { depth });
+            for _ in 0..10_000 {
+                if !sim.step() {
+                    break;
+                }
+            }
+            black_box(sim.ledger().fixed_msgs);
+        });
     }
-    g.finish();
 }
 
-fn mutex_executions(c: &mut Criterion) {
-    let mut g = c.benchmark_group("mutex");
-    g.bench_function("l2_16mh_1req_each", |b| {
-        b.iter(|| {
-            let cfg = NetworkConfig::new(4, 16).with_seed(2);
-            let wl = WorkloadConfig::all_mhs(16, 1);
-            let mut sim = Simulation::new(cfg, MutexHarness::new(L2::new(4), wl));
-            sim.run_until(SimTime::from_ticks(50_000_000));
-            let r = sim.protocol().report();
-            assert_eq!(r.completed, 16);
-            black_box(r.completed)
-        })
+fn mutex_executions() {
+    bench("mutex/l2_16mh_1req_each", || {
+        let cfg = NetworkConfig::new(4, 16).with_seed(2);
+        let wl = WorkloadConfig::all_mhs(16, 1);
+        let mut sim = Simulation::new(cfg, MutexHarness::new(L2::new(4), wl));
+        sim.run_until(SimTime::from_ticks(50_000_000));
+        let r = sim.protocol().report();
+        assert_eq!(r.completed, 16);
+        black_box(r.completed);
     });
-    g.bench_function("r2_prime_16mh_1req_each", |b| {
-        b.iter(|| {
-            let cfg = NetworkConfig::new(4, 16).with_seed(2);
-            let wl = WorkloadConfig::all_mhs(16, 1);
-            let algo = R2::new(4, RingGuard::Counter);
-            let mut sim = Simulation::new(cfg, MutexHarness::new(algo, wl));
-            sim.run_until(SimTime::from_ticks(100_000));
-            black_box(sim.protocol().report().completed)
-        })
+    bench("mutex/r2_prime_16mh_1req_each", || {
+        let cfg = NetworkConfig::new(4, 16).with_seed(2);
+        let wl = WorkloadConfig::all_mhs(16, 1);
+        let algo = R2::new(4, RingGuard::Counter);
+        let mut sim = Simulation::new(cfg, MutexHarness::new(algo, wl));
+        sim.run_until(SimTime::from_ticks(100_000));
+        black_box(sim.protocol().report().completed);
     });
-    g.finish();
 }
 
-fn group_messaging(c: &mut Criterion) {
-    let mut g = c.benchmark_group("group");
-    g.bench_function("location_view_20msgs_mobile", |b| {
-        b.iter(|| {
-            let members: Vec<MhId> = (0..8u32).map(MhId).collect();
-            let cfg = NetworkConfig::new(8, 8)
-                .with_seed(3)
-                .with_mobility(MobilityConfig::moving(500));
-            let wl = GroupWorkload::new(members.clone(), 20, 100);
-            let mut sim =
-                Simulation::new(cfg, GroupHarness::new(LocationView::new(members, MssId(0)), wl));
-            sim.run_until(SimTime::from_ticks(500_000));
-            black_box(sim.protocol().report().delivered)
-        })
+fn group_messaging() {
+    bench("group/location_view_20msgs_mobile", || {
+        let members: Vec<MhId> = (0..8u32).map(MhId).collect();
+        let cfg = NetworkConfig::new(8, 8)
+            .with_seed(3)
+            .with_mobility(MobilityConfig::moving(500));
+        let wl = GroupWorkload::new(members.clone(), 20, 100);
+        let mut sim = Simulation::new(
+            cfg,
+            GroupHarness::new(LocationView::new(members, MssId(0)), wl),
+        );
+        sim.run_until(SimTime::from_ticks(500_000));
+        black_box(sim.protocol().report().delivered);
     });
-    g.finish();
 }
 
-criterion_group!(benches, kernel_throughput, mutex_executions, group_messaging);
-criterion_main!(benches);
+/// EventQueue steady-state churn: keep `pending` events queued, then
+/// push+pop one event per step for `pending` steps. Exercises the 4-ary
+/// sift paths at realistic depths.
+fn event_queue_churn() {
+    for pending in [10_000usize, 100_000] {
+        bench(&format!("event_queue/push_pop_steady/{pending}"), || {
+            let mut q: EventQueue<u64> = EventQueue::with_capacity(pending + 1);
+            // Cheap deterministic time scatter (xorshift64).
+            let mut x = 0x243F_6A88_85A3_08D3u64;
+            let mut next = || {
+                x ^= x << 13;
+                x ^= x >> 7;
+                x ^= x << 17;
+                x % 1_000_000
+            };
+            for i in 0..pending {
+                q.push(SimTime::from_ticks(next()), i as u64);
+            }
+            for i in 0..pending {
+                let (t, _) = q.pop().expect("queue non-empty");
+                q.push(SimTime::from_ticks(t.ticks() + next() % 1000), i as u64);
+            }
+            while let Some(e) = q.pop() {
+                black_box(e);
+            }
+        });
+    }
+}
+
+/// Hashes the same batch of `ChainKey`s with the in-repo FxHasher and the
+/// standard library SipHash — the lookup-path cost the channel maps pay.
+fn chain_key_hashing() {
+    let keys: Vec<ChainKey> = (0..64u32)
+        .flat_map(|i| {
+            [
+                ChainKey::Fixed(MssId(i % 8), MssId((i + 1) % 8)),
+                ChainKey::Down(MssId(i % 8), MhId(i)),
+                ChainKey::Up(MhId(i), MssId(i % 8)),
+            ]
+        })
+        .collect();
+    bench("hash/chain_key_fx_192keys_x100", || {
+        let mut acc = 0u64;
+        for _ in 0..100 {
+            for k in &keys {
+                let mut h = FxHasher::default();
+                k.hash(&mut h);
+                acc ^= h.finish();
+            }
+        }
+        black_box(acc);
+    });
+    bench("hash/chain_key_siphash_192keys_x100", || {
+        let mut acc = 0u64;
+        for _ in 0..100 {
+            for k in &keys {
+                let mut h = DefaultHasher::new();
+                k.hash(&mut h);
+                acc ^= h.finish();
+            }
+        }
+        black_box(acc);
+    });
+}
+
+fn main() {
+    println!("{:<44} {:>12}  samples", "benchmark", "median");
+    kernel_throughput();
+    mutex_executions();
+    group_messaging();
+    event_queue_churn();
+    chain_key_hashing();
+}

@@ -1,5 +1,6 @@
 //! Experiments E5–E6: group location management (Section 4).
 
+use crate::parallel::{default_jobs, map_indexed};
 use crate::table::{f2, pct, Table};
 use mobidist_cost as formulas;
 use mobidist_cost::Params;
@@ -108,31 +109,35 @@ pub fn e5_group_strategies(quick: bool) -> Table {
     } else {
         &[None, Some(4_000), Some(1_200), Some(400), Some(150)]
     };
-    for &dwell in dwells {
-        let mk = |seed: u64| {
-            let mut cfg = NetworkConfig::new(m, g)
-                .with_seed(seed)
-                .with_placement(Placement::Clustered { cells: 3 });
-            if let Some(d) = dwell {
-                cfg = cfg.with_mobility(MobilityConfig {
-                    enabled: true,
-                    mean_dwell: d,
-                    mean_gap: 10,
-                    pattern: MovePattern::Locality {
-                        p_local: 0.7,
-                        home_span: 3,
-                    },
-                });
-            }
-            cfg
-        };
+    // Fan every (dwell, strategy) run out as its own task; rows are
+    // assembled by index so the table is byte-identical at any worker count.
+    const STRATEGIES: [&str; 3] = ["pure-search", "always-inform", "location-view"];
+    let tasks: Vec<(Option<u64>, &str)> = dwells
+        .iter()
+        .flat_map(|&d| STRATEGIES.map(|s| (d, s)))
+        .collect();
+    let runs = map_indexed(tasks, default_jobs(), |_, (dwell, which)| {
+        let mut cfg = NetworkConfig::new(m, g)
+            .with_seed(50)
+            .with_placement(Placement::Clustered { cells: 3 });
+        if let Some(d) = dwell {
+            cfg = cfg.with_mobility(MobilityConfig {
+                enabled: true,
+                mean_dwell: d,
+                mean_gap: 10,
+                pattern: MovePattern::Locality {
+                    p_local: 0.7,
+                    home_span: 3,
+                },
+            });
+        }
         let horizon = (msgs as u64) * interval * 4;
         let wl = GroupWorkload::new(members.clone(), msgs, interval);
+        run_strategy(cfg, which, members.clone(), wl, horizon)
+    });
+    for (i, _dwell) in dwells.iter().enumerate() {
         let p = params(CostModel::default());
-
-        let ps = run_strategy(mk(50), "pure-search", members.clone(), wl.clone(), horizon);
-        let ai = run_strategy(mk(50), "always-inform", members.clone(), wl.clone(), horizon);
-        let lv = run_strategy(mk(50), "location-view", members.clone(), wl, horizon);
+        let (ps, ai, lv) = (&runs[3 * i], &runs[3 * i + 1], &runs[3 * i + 2]);
 
         let ratio = ai.report.mobility_ratio();
         let (lv_max, f) = lv.lv.expect("LV run records view stats");
@@ -178,7 +183,11 @@ pub fn e6_locality(quick: bool) -> Table {
             "delivery",
         ],
     );
-    let ps: &[f64] = if quick { &[0.0, 0.9] } else { &[0.0, 0.5, 0.8, 0.95] };
+    let ps: &[f64] = if quick {
+        &[0.0, 0.9]
+    } else {
+        &[0.0, 0.5, 0.8, 0.95]
+    };
     for &p_local in ps {
         let cfg = NetworkConfig::new(m, g)
             .with_seed(60)
@@ -215,9 +224,16 @@ pub fn e11_exactly_once(quick: bool) -> Table {
     let g = 8;
     let members: Vec<MhId> = (0..g as u32).map(MhId).collect();
     let msgs = if quick { 8 } else { 25 };
-    let seeds: Vec<u64> = if quick { vec![1, 2] } else { vec![1, 2, 3, 4, 5] };
+    let seeds: Vec<u64> = if quick {
+        vec![1, 2]
+    } else {
+        vec![1, 2, 3, 4, 5]
+    };
     let mut t = Table::new(
-        format!("E11 — exactly-once extension under churn (M = {m}, |G| = {g}, {} seeds)", seeds.len()),
+        format!(
+            "E11 — exactly-once extension under churn (M = {m}, |G| = {g}, {} seeds)",
+            seeds.len()
+        ),
         &[
             "mean dwell",
             "strategy",
@@ -226,41 +242,68 @@ pub fn e11_exactly_once(quick: bool) -> Table {
             "cost/msg (mean ± std)",
         ],
     );
-    let dwells: &[u64] = if quick { &[10_000, 150] } else { &[10_000, 600, 150] };
-    for &dwell in dwells {
-        for which in ["pure-search", "always-inform", "location-view", "exactly-once"] {
-            let mut deliveries = Vec::new();
-            let mut misses = Vec::new();
-            let mut costs = Vec::new();
-            for &seed in &seeds {
-                let cfg = NetworkConfig::new(m, g)
-                    .with_seed(seed)
-                    .with_mobility(MobilityConfig {
-                        enabled: true,
-                        mean_dwell: dwell,
-                        mean_gap: 40,
-                        ..MobilityConfig::default()
-                    });
-                let wl = GroupWorkload::new(members.clone(), msgs, 60);
-                let horizon = 60 * msgs as u64 + 20_000;
-                let run = if which == "exactly-once" {
-                    let mut sim = Simulation::new(
-                        cfg,
-                        GroupHarness::new(ExactlyOnce::new(members.clone(), MssId(0)), wl),
-                    );
-                    sim.run_until(SimTime::from_ticks(horizon));
-                    GroupRun {
-                        report: sim.protocol().report(),
-                        ledger: sim.ledger().clone(),
-                        lv: None,
-                    }
-                } else {
-                    run_strategy(cfg, which, members.clone(), wl, horizon)
-                };
-                deliveries.push(run.report.delivery_ratio());
-                misses.push(run.report.missed as f64);
-                costs.push(run.cost_per_message());
+    let dwells: &[u64] = if quick {
+        &[10_000, 150]
+    } else {
+        &[10_000, 600, 150]
+    };
+    const STRATEGIES: [&str; 4] = [
+        "pure-search",
+        "always-inform",
+        "location-view",
+        "exactly-once",
+    ];
+    // Fan every (dwell, strategy, seed) run out as its own task — the finest
+    // independent unit, so even the quick matrix saturates a small machine.
+    // Per-seed samples are re-grouped in seed order before summarising, so
+    // the means and std-devs are bit-identical to the sequential loops.
+    let mut tasks: Vec<(u64, &str, u64)> =
+        Vec::with_capacity(dwells.len() * STRATEGIES.len() * seeds.len());
+    for &d in dwells {
+        for w in STRATEGIES {
+            for &s in &seeds {
+                tasks.push((d, w, s));
             }
+        }
+    }
+    let samples = map_indexed(tasks, default_jobs(), |_, (dwell, which, seed)| {
+        let cfg = NetworkConfig::new(m, g)
+            .with_seed(seed)
+            .with_mobility(MobilityConfig {
+                enabled: true,
+                mean_dwell: dwell,
+                mean_gap: 40,
+                ..MobilityConfig::default()
+            });
+        let wl = GroupWorkload::new(members.clone(), msgs, 60);
+        let horizon = 60 * msgs as u64 + 20_000;
+        let run = if which == "exactly-once" {
+            let mut sim = Simulation::new(
+                cfg,
+                GroupHarness::new(ExactlyOnce::new(members.clone(), MssId(0)), wl),
+            );
+            sim.run_until(SimTime::from_ticks(horizon));
+            GroupRun {
+                report: sim.protocol().report(),
+                ledger: sim.ledger().clone(),
+                lv: None,
+            }
+        } else {
+            run_strategy(cfg, which, members.clone(), wl, horizon)
+        };
+        (
+            run.report.delivery_ratio(),
+            run.report.missed as f64,
+            run.cost_per_message(),
+        )
+    });
+    let mut rows = samples.chunks_exact(seeds.len());
+    for &dwell in dwells {
+        for which in STRATEGIES {
+            let chunk = rows.next().expect("one chunk per (dwell, strategy)");
+            let deliveries: Vec<f64> = chunk.iter().map(|s| s.0).collect();
+            let misses: Vec<f64> = chunk.iter().map(|s| s.1).collect();
+            let costs: Vec<f64> = chunk.iter().map(|s| s.2).collect();
             let d = crate::stats::Summary::of(&deliveries);
             let mi = crate::stats::Summary::of(&misses);
             let c = crate::stats::Summary::of(&costs);
@@ -326,7 +369,10 @@ mod tests {
         let t = e6_locality(true);
         let loose: u64 = t.rows[0][1].parse().unwrap();
         let tight: u64 = t.rows[1][1].parse().unwrap();
-        assert!(tight <= loose, "locality cannot grow the view: {tight} vs {loose}");
+        assert!(
+            tight <= loose,
+            "locality cannot grow the view: {tight} vs {loose}"
+        );
         // The view never needs the whole network.
         assert!(tight < 16, "|LV| stays below M");
         let f_loose: f64 = t.rows[0][3].parse().unwrap();

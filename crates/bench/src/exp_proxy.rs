@@ -22,7 +22,11 @@ pub fn e10_proxy(quick: bool) -> Table {
             "cost/interaction",
         ],
     );
-    let dwells: &[u64] = if quick { &[2_000, 300] } else { &[4_000, 1_000, 400, 150] };
+    let dwells: &[u64] = if quick {
+        &[2_000, 300]
+    } else {
+        &[4_000, 1_000, 400, 150]
+    };
     for &dwell in dwells {
         for policy in [
             ProxyPolicy::Fixed,

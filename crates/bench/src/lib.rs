@@ -22,6 +22,7 @@ pub mod exp_group;
 pub mod exp_model;
 pub mod exp_mutex;
 pub mod exp_proxy;
+pub mod parallel;
 pub mod stats;
 pub mod table;
 

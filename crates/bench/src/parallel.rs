@@ -1,0 +1,136 @@
+//! Deterministic fan-out of independent simulation runs.
+//!
+//! Every simulation run is fully determined by its `(config, seed)` pair, so
+//! an experiment sweep is embarrassingly parallel: [`map_indexed`] fans the
+//! work items across `std::thread::scope` workers and collects results **by
+//! input index**, so the assembled output — and therefore every experiment
+//! table — is byte-identical to the sequential path regardless of worker
+//! count or scheduling. `--jobs 1` (or `MOBIDIST_JOBS=1`) falls back to a
+//! plain in-thread loop.
+//!
+//! No external crates: work distribution is a mutex-guarded deque (items are
+//! tiny config descriptors; lock traffic is noise next to a simulation run)
+//! and results travel over `std::sync::mpsc`.
+
+use std::collections::VecDeque;
+use std::sync::mpsc;
+use std::sync::Mutex;
+
+/// Worker count to use: `MOBIDIST_JOBS` when set (clamped to ≥ 1),
+/// otherwise the machine's available parallelism.
+pub fn default_jobs() -> usize {
+    if let Ok(v) = std::env::var("MOBIDIST_JOBS") {
+        if let Ok(n) = v.trim().parse::<usize>() {
+            return n.max(1);
+        }
+    }
+    std::thread::available_parallelism().map_or(1, |n| n.get())
+}
+
+/// Applies `f` to every `(index, item)` pair on up to `jobs` scoped worker
+/// threads and returns the results **in input order**.
+///
+/// Ordering guarantee: the output vector at position `i` holds
+/// `f(i, items[i])` exactly as the sequential loop would produce it; thread
+/// scheduling can never reorder, duplicate or drop a slot. A panic in any
+/// worker propagates once the scope joins.
+///
+/// # Examples
+///
+/// ```
+/// use mobidist_bench::parallel::map_indexed;
+/// let doubled = map_indexed(vec![1, 2, 3], 4, |_, x| x * 2);
+/// assert_eq!(doubled, vec![2, 4, 6]);
+/// ```
+pub fn map_indexed<I, T>(items: Vec<I>, jobs: usize, f: impl Fn(usize, I) -> T + Sync) -> Vec<T>
+where
+    I: Send,
+    T: Send,
+{
+    let n = items.len();
+    let jobs = jobs.max(1).min(n.max(1));
+    if jobs == 1 || n <= 1 {
+        // Sequential fallback: the reference path parallel runs must match.
+        return items
+            .into_iter()
+            .enumerate()
+            .map(|(i, x)| f(i, x))
+            .collect();
+    }
+    let queue: Mutex<VecDeque<(usize, I)>> = Mutex::new(items.into_iter().enumerate().collect());
+    let (tx, rx) = mpsc::channel::<(usize, T)>();
+    std::thread::scope(|s| {
+        for _ in 0..jobs {
+            let tx = tx.clone();
+            let queue = &queue;
+            let f = &f;
+            s.spawn(move || loop {
+                let next = queue.lock().expect("work queue poisoned").pop_front();
+                let Some((i, x)) = next else { break };
+                if tx.send((i, f(i, x))).is_err() {
+                    break;
+                }
+            });
+        }
+        drop(tx);
+        let mut out: Vec<Option<T>> = std::iter::repeat_with(|| None).take(n).collect();
+        for (i, r) in rx {
+            debug_assert!(out[i].is_none(), "index {i} produced twice");
+            out[i] = Some(r);
+        }
+        out.into_iter()
+            .map(|o| o.expect("every index produced exactly once"))
+            .collect()
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn results_are_in_input_order() {
+        // Make later items finish first: result order must still be stable.
+        let items: Vec<u64> = (0..32).collect();
+        let out = map_indexed(items, 8, |_, x| {
+            std::thread::sleep(std::time::Duration::from_micros(200 * (32 - x)));
+            x * 10
+        });
+        assert_eq!(out, (0..32).map(|x| x * 10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn sequential_and_parallel_agree() {
+        let work = |i: usize, x: u64| (i as u64) * 1000 + x * x;
+        let items: Vec<u64> = (0..50).collect();
+        let seq = map_indexed(items.clone(), 1, work);
+        let par = map_indexed(items, 7, work);
+        assert_eq!(seq, par);
+    }
+
+    #[test]
+    fn every_item_runs_exactly_once() {
+        let calls = AtomicUsize::new(0);
+        let out = map_indexed((0..100usize).collect(), 4, |i, x| {
+            calls.fetch_add(1, Ordering::Relaxed);
+            assert_eq!(i, x);
+            x
+        });
+        assert_eq!(out.len(), 100);
+        assert_eq!(calls.load(Ordering::Relaxed), 100);
+    }
+
+    #[test]
+    fn empty_and_single_inputs() {
+        let empty: Vec<u8> = map_indexed(Vec::new(), 8, |_, x: u8| x);
+        assert!(empty.is_empty());
+        assert_eq!(map_indexed(vec![9], 8, |_, x| x + 1), vec![10]);
+    }
+
+    #[test]
+    fn default_jobs_respects_env_floor() {
+        // Whatever the environment, the contract is jobs >= 1.
+        assert!(default_jobs() >= 1);
+    }
+}

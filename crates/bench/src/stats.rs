@@ -60,8 +60,22 @@ impl fmt::Display for Summary {
 }
 
 /// Runs `f` for each seed and summarises the results.
-pub fn over_seeds(seeds: impl IntoIterator<Item = u64>, mut f: impl FnMut(u64) -> f64) -> Summary {
-    let samples: Vec<f64> = seeds.into_iter().map(&mut f).collect();
+///
+/// Fans the seeds across worker threads ([`crate::parallel::default_jobs`]
+/// of them); results are collected in seed order, so the summary is
+/// bit-identical to a sequential loop.
+pub fn over_seeds(seeds: impl IntoIterator<Item = u64>, f: impl Fn(u64) -> f64 + Sync) -> Summary {
+    over_seeds_jobs(seeds, crate::parallel::default_jobs(), f)
+}
+
+/// [`over_seeds`] with an explicit worker count (1 = sequential).
+pub fn over_seeds_jobs(
+    seeds: impl IntoIterator<Item = u64>,
+    jobs: usize,
+    f: impl Fn(u64) -> f64 + Sync,
+) -> Summary {
+    let seeds: Vec<u64> = seeds.into_iter().collect();
+    let samples = crate::parallel::map_indexed(seeds, jobs, |_, s| f(s));
     Summary::of(&samples)
 }
 

@@ -24,7 +24,6 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// A totally-ordered Lamport timestamp: `(counter, process id)`.
@@ -39,9 +38,7 @@ use std::fmt;
 /// assert!(Timestamp::new(1, 9) < Timestamp::new(2, 0));
 /// assert!(Timestamp::new(2, 0) < Timestamp::new(2, 1));
 /// ```
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct Timestamp {
     /// The logical counter value.
     pub counter: u64,
@@ -74,7 +71,7 @@ impl fmt::Display for Timestamp {
 /// assert!(t1 > t0);
 /// assert_eq!(t1.process, 3);
 /// ```
-#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct LamportClock {
     counter: u64,
     process: u32,
@@ -118,7 +115,6 @@ impl LamportClock {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
 
     #[test]
     fn tick_is_monotonic() {
@@ -166,21 +162,40 @@ mod tests {
         assert_eq!(Timestamp::new(4, 2).to_string(), "4.2");
     }
 
-    proptest! {
-        #[test]
-        fn prop_witness_result_exceeds_both(local in 0u64..1000, recv in 0u64..1000) {
-            let mut c = LamportClock { counter: local, process: 0 };
-            let t = c.witness(Timestamp::new(recv, 1));
-            prop_assert!(t.counter > local);
-            prop_assert!(t.counter > recv);
-        }
+    /// Deterministic stand-in for the removed proptest harness: a seeded
+    /// linear-congruential stream drives the same randomized coverage on
+    /// every run.
+    fn lcg(state: &mut u64) -> u64 {
+        *state = state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        *state >> 33
+    }
 
-        #[test]
-        fn prop_timestamp_order_is_total(a in 0u64..50, pa in 0u32..8, b in 0u64..50, pb in 0u32..8) {
-            let x = Timestamp::new(a, pa);
-            let y = Timestamp::new(b, pb);
+    #[test]
+    fn prop_witness_result_exceeds_both() {
+        let mut s = 0xC10C_u64;
+        for _ in 0..200 {
+            let local = lcg(&mut s) % 1000;
+            let recv = lcg(&mut s) % 1000;
+            let mut c = LamportClock {
+                counter: local,
+                process: 0,
+            };
+            let t = c.witness(Timestamp::new(recv, 1));
+            assert!(t.counter > local);
+            assert!(t.counter > recv);
+        }
+    }
+
+    #[test]
+    fn prop_timestamp_order_is_total() {
+        let mut s = 0x7074_u64;
+        for _ in 0..400 {
+            let x = Timestamp::new(lcg(&mut s) % 50, (lcg(&mut s) % 8) as u32);
+            let y = Timestamp::new(lcg(&mut s) % 50, (lcg(&mut s) % 8) as u32);
             let consistent = (x < y) as u8 + (y < x) as u8 + (x == y) as u8;
-            prop_assert_eq!(consistent, 1);
+            assert_eq!(consistent, 1);
         }
     }
 }

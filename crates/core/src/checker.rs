@@ -12,10 +12,9 @@
 
 use mobidist_net::ids::MhId;
 use mobidist_net::time::SimTime;
-use serde::{Deserialize, Serialize};
 
 /// One completed (or in-flight) critical-section episode.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Episode {
     /// The MH that held the critical section.
     pub mh: MhId,

@@ -12,11 +12,10 @@ use mobidist_net::host::MhStatus;
 use mobidist_net::ids::{MhId, MssId};
 use mobidist_net::proto::{Ctx, Protocol, Src};
 use mobidist_net::time::SimTime;
-use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 
 /// Closed-loop workload parameters.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct WorkloadConfig {
     /// The MHs that issue critical-section requests.
     pub requesters: Vec<MhId>,
@@ -86,7 +85,7 @@ enum ReqState {
 }
 
 /// Final liveness/throughput summary of one harness run.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct MutexReport {
     /// Requests handed to the algorithm.
     pub issued: u64,
@@ -323,11 +322,23 @@ impl<A: MutexAlgorithm> Protocol for MutexHarness<A> {
         }
     }
 
-    fn on_mss_msg(&mut self, ctx: &mut Ctx<'_, Self::Msg, Self::Timer>, at: MssId, src: Src, msg: Self::Msg) {
+    fn on_mss_msg(
+        &mut self,
+        ctx: &mut Ctx<'_, Self::Msg, Self::Timer>,
+        at: MssId,
+        src: Src,
+        msg: Self::Msg,
+    ) {
         self.with_algo(ctx, |a, actx| a.on_mss_msg(actx, at, src, msg));
     }
 
-    fn on_mh_msg(&mut self, ctx: &mut Ctx<'_, Self::Msg, Self::Timer>, at: MhId, src: Src, msg: Self::Msg) {
+    fn on_mh_msg(
+        &mut self,
+        ctx: &mut Ctx<'_, Self::Msg, Self::Timer>,
+        at: MhId,
+        src: Src,
+        msg: Self::Msg,
+    ) {
         self.with_algo(ctx, |a, actx| a.on_mh_msg(actx, at, src, msg));
     }
 
@@ -341,7 +352,12 @@ impl<A: MutexAlgorithm> Protocol for MutexHarness<A> {
         self.with_algo(ctx, |a, actx| a.on_mh_joined(actx, mh, mss, prev));
     }
 
-    fn on_mh_disconnected(&mut self, ctx: &mut Ctx<'_, Self::Msg, Self::Timer>, mh: MhId, mss: MssId) {
+    fn on_mh_disconnected(
+        &mut self,
+        ctx: &mut Ctx<'_, Self::Msg, Self::Timer>,
+        mh: MhId,
+        mss: MssId,
+    ) {
         self.with_algo(ctx, |a, actx| a.on_mh_disconnected(actx, mh, mss));
     }
 
@@ -372,7 +388,10 @@ mod tests {
 
     #[test]
     fn workload_builders() {
-        let wl = WorkloadConfig::all_mhs(4, 2).with_think(9).with_hold(3).with_doze();
+        let wl = WorkloadConfig::all_mhs(4, 2)
+            .with_think(9)
+            .with_hold(3)
+            .with_doze();
         assert_eq!(wl.requesters.len(), 4);
         assert_eq!((wl.requests_per_mh, wl.mean_think, wl.mean_hold), (2, 9, 3));
         assert!(wl.doze_when_idle);
@@ -393,9 +412,15 @@ mod tests {
             p95_wait: 2,
         };
         assert!(clean.is_clean_and_live());
-        let stalled = MutexReport { outstanding: 1, ..clean.clone() };
+        let stalled = MutexReport {
+            outstanding: 1,
+            ..clean.clone()
+        };
         assert!(!stalled.is_clean_and_live());
-        let unsafe_run = MutexReport { safety_violations: 1, ..clean };
+        let unsafe_run = MutexReport {
+            safety_violations: 1,
+            ..clean
+        };
         assert!(!unsafe_run.is_clean_and_live());
     }
 }

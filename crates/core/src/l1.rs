@@ -66,7 +66,10 @@ impl L1 {
     ///
     /// Panics if `participants` is empty.
     pub fn new(participants: Vec<MhId>) -> Self {
-        assert!(!participants.is_empty(), "L1 needs at least one participant");
+        assert!(
+            !participants.is_empty(),
+            "L1 needs at least one participant"
+        );
         let state = participants
             .iter()
             .map(|mh| {

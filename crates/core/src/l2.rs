@@ -223,7 +223,13 @@ impl MutexAlgorithm for L2 {
         }
     }
 
-    fn on_mss_msg(&mut self, ctx: &mut AlgoCtx<'_, '_, L2Msg, ()>, at: MssId, src: Src, msg: L2Msg) {
+    fn on_mss_msg(
+        &mut self,
+        ctx: &mut AlgoCtx<'_, '_, L2Msg, ()>,
+        at: MssId,
+        src: Src,
+        msg: L2Msg,
+    ) {
         match msg {
             L2Msg::Init => {
                 let mh = src.as_mh().expect("init arrives on the uplink");
@@ -331,9 +337,21 @@ mod tests {
 
     #[test]
     fn entries_order_by_timestamp_then_proxy() {
-        let a = Entry { ts: Timestamp::new(1, 0), proxy: MssId(9), mh: MhId(0) };
-        let b = Entry { ts: Timestamp::new(2, 0), proxy: MssId(0), mh: MhId(1) };
-        let c = Entry { ts: Timestamp::new(2, 1), proxy: MssId(0), mh: MhId(2) };
+        let a = Entry {
+            ts: Timestamp::new(1, 0),
+            proxy: MssId(9),
+            mh: MhId(0),
+        };
+        let b = Entry {
+            ts: Timestamp::new(2, 0),
+            proxy: MssId(0),
+            mh: MhId(1),
+        };
+        let c = Entry {
+            ts: Timestamp::new(2, 1),
+            proxy: MssId(0),
+            mh: MhId(2),
+        };
         assert!(a < b, "smaller timestamp wins regardless of proxy");
         assert!(b < c, "process id breaks timestamp ties");
     }

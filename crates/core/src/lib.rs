@@ -48,8 +48,8 @@ pub mod prelude {
     pub use crate::algorithm::{AlgoCtx, Effect, HarnessTimer, MutexAlgorithm};
     pub use crate::checker::{Episode, SafetyChecker};
     pub use crate::harness::{MutexHarness, MutexReport, WorkloadConfig};
-    pub use crate::l1::{L1, L1Msg};
-    pub use crate::l2::{L2, L2Msg};
-    pub use crate::r1::{R1, R1DisconnectPolicy, R1Msg, R1Timer};
-    pub use crate::r2::{R2, R2Msg, RingGuard, TokenState};
+    pub use crate::l1::{L1Msg, L1};
+    pub use crate::l2::{L2Msg, L2};
+    pub use crate::r1::{R1DisconnectPolicy, R1Msg, R1Timer, R1};
+    pub use crate::r2::{R2Msg, RingGuard, TokenState, R2};
 }

@@ -18,11 +18,10 @@
 use crate::algorithm::{AlgoCtx, MutexAlgorithm};
 use mobidist_net::ids::{MhId, MssId};
 use mobidist_net::proto::Src;
-use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 
 /// What R1 does when the next token holder is disconnected.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum R1DisconnectPolicy {
     /// Keep retrying the same successor until it reconnects (the ring
     /// stalls; progress stops for everyone).
@@ -192,7 +191,13 @@ impl MutexAlgorithm for R1 {
         unreachable!("R1 exchanges messages only between mobile hosts");
     }
 
-    fn on_mh_msg(&mut self, ctx: &mut AlgoCtx<'_, '_, R1Msg, R1Timer>, at: MhId, _: Src, msg: R1Msg) {
+    fn on_mh_msg(
+        &mut self,
+        ctx: &mut AlgoCtx<'_, '_, R1Msg, R1Timer>,
+        at: MhId,
+        _: Src,
+        msg: R1Msg,
+    ) {
         match msg {
             R1Msg::Token => self.token_arrived(ctx, at),
         }
@@ -248,7 +253,10 @@ mod tests {
     use super::*;
 
     fn ring4() -> R1 {
-        R1::new(vec![MhId(0), MhId(1), MhId(2), MhId(3)], R1DisconnectPolicy::Stall)
+        R1::new(
+            vec![MhId(0), MhId(1), MhId(2), MhId(3)],
+            R1DisconnectPolicy::Stall,
+        )
     }
 
     #[test]
@@ -263,7 +271,10 @@ mod tests {
     fn fresh_ring_has_no_holder_and_zero_stats() {
         let r = ring4();
         assert_eq!(r.holder(), None);
-        assert_eq!((r.traversals(), r.hops(), r.skips(), r.stalls()), (0, 0, 0, 0));
+        assert_eq!(
+            (r.traversals(), r.hops(), r.skips(), r.stalls()),
+            (0, 0, 0, 0)
+        );
         assert_eq!(r.name(), "R1");
     }
 

@@ -30,11 +30,10 @@
 use crate::algorithm::{AlgoCtx, MutexAlgorithm};
 use mobidist_net::ids::{MhId, MssId};
 use mobidist_net::proto::Src;
-use serde::{Deserialize, Serialize};
 use std::collections::{BTreeMap, BTreeSet, VecDeque};
 
 /// Admission guard selecting the R2 variant.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum RingGuard {
     /// R2: serve every pending request.
     #[default]
@@ -212,13 +211,12 @@ impl R2 {
             let st = &mut self.stations[at.index()];
             st.has_token = true;
             let pending: Vec<(MhId, u64)> = st.request_q.drain(..).collect();
-            let (adm, keep): (Vec<_>, Vec<_>) = pending.into_iter().partition(|(mh, ac)| {
-                match self.guard {
+            let (adm, keep): (Vec<_>, Vec<_>) =
+                pending.into_iter().partition(|(mh, ac)| match self.guard {
                     RingGuard::Plain => true,
                     RingGuard::Counter => *ac < self.token.val,
                     RingGuard::TokenList => !self.token.list.iter().any(|(_, h)| h == mh),
-                }
-            });
+                });
             st.request_q.extend(keep);
             adm
         };
@@ -290,7 +288,11 @@ impl MutexAlgorithm for R2 {
 
     fn request(&mut self, ctx: &mut AlgoCtx<'_, '_, R2Msg, ()>, mh: MhId) {
         let true_count = self.access_count.get(&mh).copied().unwrap_or(0);
-        let reported = if self.liars.contains(&mh) { 0 } else { true_count };
+        let reported = if self.liars.contains(&mh) {
+            0
+        } else {
+            true_count
+        };
         let _ = ctx.send_wireless_up(
             mh,
             R2Msg::MhRequest {
@@ -313,11 +315,19 @@ impl MutexAlgorithm for R2 {
         }
     }
 
-    fn on_mss_msg(&mut self, ctx: &mut AlgoCtx<'_, '_, R2Msg, ()>, at: MssId, src: Src, msg: R2Msg) {
+    fn on_mss_msg(
+        &mut self,
+        ctx: &mut AlgoCtx<'_, '_, R2Msg, ()>,
+        at: MssId,
+        src: Src,
+        msg: R2Msg,
+    ) {
         match msg {
             R2Msg::MhRequest { access_count } => {
                 let mh = src.as_mh().expect("requests arrive on the uplink");
-                self.stations[at.index()].request_q.push_back((mh, access_count));
+                self.stations[at.index()]
+                    .request_q
+                    .push_back((mh, access_count));
             }
             R2Msg::Token(state) => {
                 self.token = state;

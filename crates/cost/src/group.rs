@@ -44,9 +44,7 @@ pub fn pure_search_effective(g: u64, p: Params) -> f64 {
 /// assert_eq!(always_inform_effective(8, 1.0, p), 2.0 * 7.0 * 21.0);
 /// ```
 pub fn always_inform_effective(g: u64, mob_per_msg: f64, p: Params) -> f64 {
-    (1.0 + mob_per_msg)
-        * (g.saturating_sub(1) as f64)
-        * (2 * p.c_wireless + p.c_fixed) as f64
+    (1.0 + mob_per_msg) * (g.saturating_sub(1) as f64) * (2 * p.c_wireless + p.c_fixed) as f64
 }
 
 /// **Location view** (Section 4.3) upper bound on the cost of updating

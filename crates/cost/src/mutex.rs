@@ -139,7 +139,10 @@ mod tests {
         // wins; with N ≫ M it wins by a factor.
         for m in 2..64u64 {
             let n = m;
-            assert!(l2_execution_cost(m, p()) < l1_execution_cost(n, p()), "m={m}");
+            assert!(
+                l2_execution_cost(m, p()) < l1_execution_cost(n, p()),
+                "m={m}"
+            );
         }
         let factor = l1_execution_cost(100, p()) as f64 / l2_execution_cost(10, p()) as f64;
         assert!(factor > 50.0, "factor = {factor}");

@@ -18,11 +18,10 @@
 use crate::strategy::{GroupCtx, LocationStrategy};
 use mobidist_net::ids::{MhId, MssId};
 use mobidist_net::proto::Src;
-use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 
 /// What to do when a directory entry turns out to be stale on delivery.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum StalePolicy {
     /// Fall back to a search from the stale MSS (counted in
     /// `ai_stale_fallbacks`).
@@ -173,7 +172,14 @@ impl LocationStrategy for AlwaysInform {
         // Update own directory entry, then inform every member.
         self.ld.entry(mh).or_default().insert(mh, mss);
         ctx.bump("ai_location_updates");
-        self.fan_out(ctx, mh, AiPayload::LocationUpdate { who: mh, now_at: mss });
+        self.fan_out(
+            ctx,
+            mh,
+            AiPayload::LocationUpdate {
+                who: mh,
+                now_at: mss,
+            },
+        );
     }
 
     fn on_member_reconnected(
@@ -185,7 +191,14 @@ impl LocationStrategy for AlwaysInform {
     ) {
         self.ld.entry(mh).or_default().insert(mh, mss);
         ctx.bump("ai_location_updates");
-        self.fan_out(ctx, mh, AiPayload::LocationUpdate { who: mh, now_at: mss });
+        self.fan_out(
+            ctx,
+            mh,
+            AiPayload::LocationUpdate {
+                who: mh,
+                now_at: mss,
+            },
+        );
     }
 
     fn on_mss_msg(&mut self, ctx: &mut GroupCtx<'_, '_, AiMsg, ()>, at: MssId, _: Src, msg: AiMsg) {

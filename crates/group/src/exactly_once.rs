@@ -157,17 +157,18 @@ impl LocationStrategy for ExactlyOnce {
         let _ = ctx.send_wireless_up(from, EoMsg::Submit { msg_id });
     }
 
-    fn on_mss_msg(&mut self, ctx: &mut GroupCtx<'_, '_, EoMsg, ()>, at: MssId, src: Src, msg: EoMsg) {
+    fn on_mss_msg(
+        &mut self,
+        ctx: &mut GroupCtx<'_, '_, EoMsg, ()>,
+        at: MssId,
+        src: Src,
+        msg: EoMsg,
+    ) {
         match msg {
             EoMsg::Submit { msg_id } => {
                 let sender = src.as_mh().expect("submissions arrive on the uplink");
                 if at == self.sequencer {
-                    self.on_mss_msg(
-                        ctx,
-                        at,
-                        Src::Mss(at),
-                        EoMsg::ToSequencer { msg_id, sender },
-                    );
+                    self.on_mss_msg(ctx, at, Src::Mss(at), EoMsg::ToSequencer { msg_id, sender });
                 } else {
                     ctx.send_fixed(at, self.sequencer, EoMsg::ToSequencer { msg_id, sender });
                 }
@@ -193,7 +194,15 @@ impl LocationStrategy for ExactlyOnce {
                             self.drain_to(ctx, at, mh);
                         }
                     } else {
-                        ctx.send_fixed(at, mss, EoMsg::Sequenced { seq, msg_id, sender });
+                        ctx.send_fixed(
+                            at,
+                            mss,
+                            EoMsg::Sequenced {
+                                seq,
+                                msg_id,
+                                sender,
+                            },
+                        );
                     }
                 }
             }

@@ -224,8 +224,18 @@ impl LocationView {
         }
     }
 
-    fn fan_out(&mut self, ctx: &mut GroupCtx<'_, '_, LvMsg, ()>, from_mss: MssId, msg_id: u64, sender: MhId) {
-        let view: Vec<MssId> = self.copies.get(&from_mss).map(|c| c.iter().copied().collect()).unwrap_or_default();
+    fn fan_out(
+        &mut self,
+        ctx: &mut GroupCtx<'_, '_, LvMsg, ()>,
+        from_mss: MssId,
+        msg_id: u64,
+        sender: MhId,
+    ) {
+        let view: Vec<MssId> = self
+            .copies
+            .get(&from_mss)
+            .map(|c| c.iter().copied().collect())
+            .unwrap_or_default();
         for mss in view {
             if mss == from_mss {
                 self.deliver_local(ctx, mss, msg_id, sender);
@@ -268,12 +278,7 @@ impl LocationView {
             }
         }
         if let Some(d) = del {
-            if self.master.contains(&d)
-                && self
-                    .local_members
-                    .get(&d)
-                    .is_none_or(|s| s.is_empty())
-            {
+            if self.master.contains(&d) && self.local_members.get(&d).is_none_or(|s| s.is_empty()) {
                 self.significant += 1;
                 ctx.bump("lv_significant_dels");
                 self.master.remove(&d);
@@ -361,7 +366,13 @@ impl LocationStrategy for LocationView {
         let _ = ctx.send_wireless_up(from, LvMsg::GroupSend { msg_id });
     }
 
-    fn on_mss_msg(&mut self, ctx: &mut GroupCtx<'_, '_, LvMsg, ()>, at: MssId, src: Src, msg: LvMsg) {
+    fn on_mss_msg(
+        &mut self,
+        ctx: &mut GroupCtx<'_, '_, LvMsg, ()>,
+        at: MssId,
+        src: Src,
+        msg: LvMsg,
+    ) {
         match msg {
             LvMsg::GroupSend { msg_id } => {
                 let sender = src.as_mh().expect("group sends arrive on the uplink");
@@ -408,11 +419,7 @@ impl LocationStrategy for LocationView {
                     Some(v) if v.contains(&new_mss) => None,
                     _ => Some(new_mss),
                 };
-                let del = if self
-                    .local_members
-                    .get(&at)
-                    .is_none_or(|s| s.is_empty())
-                {
+                let del = if self.local_members.get(&at).is_none_or(|s| s.is_empty()) {
                     Some(at)
                 } else {
                     None
@@ -483,10 +490,7 @@ impl LocationStrategy for LocationView {
             s.remove(&mh);
         }
         // The disconnection cell can tell immediately whether it emptied.
-        if self
-            .local_members
-            .get(&mss)
-            .is_none_or(|s| s.is_empty())
+        if self.local_members.get(&mss).is_none_or(|s| s.is_empty())
             && self.copies.contains_key(&mss)
         {
             ctx.send_fixed(

@@ -14,7 +14,6 @@ use mobidist_net::ids::{GroupId, MhId, MssId};
 use mobidist_net::proto::{Ctx, Protocol, Src};
 use mobidist_net::rng::SimRng;
 use mobidist_net::time::SimTime;
-use serde::{Deserialize, Serialize};
 use std::collections::{BTreeMap, BTreeSet};
 use std::fmt::Debug;
 
@@ -258,7 +257,7 @@ pub trait LocationStrategy: Sized + 'static {
 }
 
 /// Group-message workload parameters.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct GroupWorkload {
     /// The group being exercised.
     pub group: GroupId,
@@ -283,7 +282,7 @@ impl GroupWorkload {
 }
 
 /// Delivery audit and cost summary of one group workload run.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct GroupReport {
     /// Group messages sent (`MSG`).
     pub sent: u64,
@@ -554,11 +553,23 @@ impl<S: LocationStrategy> Protocol for GroupHarness<S> {
         }
     }
 
-    fn on_mss_msg(&mut self, ctx: &mut Ctx<'_, Self::Msg, Self::Timer>, at: MssId, src: Src, msg: Self::Msg) {
+    fn on_mss_msg(
+        &mut self,
+        ctx: &mut Ctx<'_, Self::Msg, Self::Timer>,
+        at: MssId,
+        src: Src,
+        msg: Self::Msg,
+    ) {
         self.with_strategy(ctx, |s, gctx| s.on_mss_msg(gctx, at, src, msg));
     }
 
-    fn on_mh_msg(&mut self, ctx: &mut Ctx<'_, Self::Msg, Self::Timer>, at: MhId, src: Src, msg: Self::Msg) {
+    fn on_mh_msg(
+        &mut self,
+        ctx: &mut Ctx<'_, Self::Msg, Self::Timer>,
+        at: MhId,
+        src: Src,
+        msg: Self::Msg,
+    ) {
         self.with_strategy(ctx, |s, gctx| s.on_mh_msg(gctx, at, src, msg));
     }
 
@@ -581,7 +592,12 @@ impl<S: LocationStrategy> Protocol for GroupHarness<S> {
         }
     }
 
-    fn on_mh_disconnected(&mut self, ctx: &mut Ctx<'_, Self::Msg, Self::Timer>, mh: MhId, mss: MssId) {
+    fn on_mh_disconnected(
+        &mut self,
+        ctx: &mut Ctx<'_, Self::Msg, Self::Timer>,
+        mh: MhId,
+        mss: MssId,
+    ) {
         if self.member_set.contains(&mh) {
             self.with_strategy(ctx, |s, gctx| s.on_member_disconnected(gctx, mh, mss));
         }

@@ -49,7 +49,10 @@ fn churn_causes_retransmission_not_loss() {
     assert_eq!(r.sent, 30);
     assert_eq!(r.missed, 0, "exactly-once must never miss: {r:?}");
     assert_eq!(r.duplicates, 0, "…nor duplicate: {r:?}");
-    assert!(retx > 0, "with this much churn, catch-up must have happened");
+    assert!(
+        retx > 0,
+        "with this much churn, catch-up must have happened"
+    );
 }
 
 #[test]
@@ -57,10 +60,7 @@ fn members_between_cells_at_send_time_still_get_the_message() {
     let g = members(4);
     let cfg = NetworkConfig::new(3, 4).with_seed(3);
     let wl = GroupWorkload::new(g.clone(), 1, 5);
-    let mut sim = Simulation::new(
-        cfg,
-        GroupHarness::new(ExactlyOnce::new(g, MssId(0)), wl),
-    );
+    let mut sim = Simulation::new(cfg, GroupHarness::new(ExactlyOnce::new(g, MssId(0)), wl));
     // Put mh3 between cells with a long gap, then let the message go out.
     sim.with_ctx(|ctx, _| ctx.initiate_move(MhId(3), Some(MssId(2))));
     sim.run_until(SimTime::from_ticks(100_000));
@@ -78,10 +78,7 @@ fn disconnected_member_catches_up_on_reconnect() {
     let g = members(4);
     let cfg = NetworkConfig::new(3, 4).with_seed(4);
     let wl = GroupWorkload::new(g.clone(), 6, 40);
-    let mut sim = Simulation::new(
-        cfg,
-        GroupHarness::new(ExactlyOnce::new(g, MssId(0)), wl),
-    );
+    let mut sim = Simulation::new(cfg, GroupHarness::new(ExactlyOnce::new(g, MssId(0)), wl));
     sim.with_ctx(|ctx, _| ctx.initiate_disconnect(MhId(2)));
     sim.run_until(SimTime::from_ticks(5_000));
     // All six messages went out while mh2 was dark.
@@ -111,10 +108,7 @@ fn exactly_once_never_loses_where_location_view_does() {
     };
     let wl = GroupWorkload::new(g.clone(), 25, 50);
     let (eo, _, eo_cost) = run_eo(mk(), wl.clone(), 100_000);
-    let mut lv_sim = Simulation::new(
-        mk(),
-        GroupHarness::new(LocationView::new(g, MssId(0)), wl),
-    );
+    let mut lv_sim = Simulation::new(mk(), GroupHarness::new(LocationView::new(g, MssId(0)), wl));
     lv_sim.run_until(SimTime::from_ticks(100_000));
     let lv = lv_sim.protocol().report();
     let lv_cost = lv_sim.ledger().total_cost();
@@ -145,10 +139,7 @@ fn exactly_once_pays_more_static_bandwidth_when_messages_dominate() {
     };
     let wl = GroupWorkload::new(g.clone(), 30, 50);
     let (eo, _, eo_cost) = run_eo(mk(), wl.clone(), 1_000_000);
-    let mut lv_sim = Simulation::new(
-        mk(),
-        GroupHarness::new(LocationView::new(g, MssId(0)), wl),
-    );
+    let mut lv_sim = Simulation::new(mk(), GroupHarness::new(LocationView::new(g, MssId(0)), wl));
     lv_sim.run_until(SimTime::from_ticks(1_000_000));
     let lv = lv_sim.protocol().report();
     let lv_cost = lv_sim.ledger().total_cost();
@@ -184,10 +175,7 @@ fn exactly_once_gives_one_global_total_order() {
     cfg.latency.fixed = LatencyModel::Uniform { lo: 1, hi: 40 };
     cfg.latency.wireless = LatencyModel::Uniform { lo: 1, hi: 12 };
     let wl = GroupWorkload::new(g.clone(), 20, 15); // rapid-fire messages
-    let mut sim = Simulation::new(
-        cfg,
-        GroupHarness::new(ExactlyOnce::new(g, MssId(0)), wl),
-    );
+    let mut sim = Simulation::new(cfg, GroupHarness::new(ExactlyOnce::new(g, MssId(0)), wl));
     sim.run_until(SimTime::from_ticks(300_000));
     let r = sim.protocol().report();
     assert_eq!(r.missed, 0, "{r:?}");

@@ -340,11 +340,19 @@ fn pure_search_beats_always_inform_when_moves_dominate() {
             .with_mobility(MobilityConfig::moving(80))
     };
     let wl = GroupWorkload::new(g.clone(), 5, 3_000);
-    let (_, sim_ps) = run(build_cfg(16), PureSearch::new(g.clone()), wl.clone(), 3_000_000);
+    let (_, sim_ps) = run(
+        build_cfg(16),
+        PureSearch::new(g.clone()),
+        wl.clone(),
+        3_000_000,
+    );
     let (_, sim_ai) = run(build_cfg(16), AlwaysInform::new(g), wl, 3_000_000);
     let ps = sim_ps.ledger().total_cost();
     let ai = sim_ai.ledger().total_cost();
-    assert!(ps < ai, "pure search wins when moves dominate: ps={ps} ai={ai}");
+    assert!(
+        ps < ai,
+        "pure search wins when moves dominate: ps={ps} ai={ai}"
+    );
 }
 
 #[test]
@@ -353,11 +361,19 @@ fn always_inform_beats_pure_search_when_messages_dominate() {
     let g = members(6);
     let build_cfg = |seed| NetworkConfig::new(6, 6).with_seed(seed);
     let wl = GroupWorkload::new(g.clone(), 30, 50);
-    let (_, sim_ps) = run(build_cfg(17), PureSearch::new(g.clone()), wl.clone(), 2_000_000);
+    let (_, sim_ps) = run(
+        build_cfg(17),
+        PureSearch::new(g.clone()),
+        wl.clone(),
+        2_000_000,
+    );
     let (_, sim_ai) = run(build_cfg(17), AlwaysInform::new(g), wl, 2_000_000);
     let ps = sim_ps.ledger().total_cost();
     let ai = sim_ai.ledger().total_cost();
-    assert!(ai < ps, "always inform wins when messages dominate: ai={ai} ps={ps}");
+    assert!(
+        ai < ps,
+        "always inform wins when messages dominate: ai={ai} ps={ps}"
+    );
 }
 
 #[test]
@@ -409,7 +425,12 @@ fn cell_broadcast_cuts_wireless_cost_without_losing_messages() {
     };
     let wl = GroupWorkload::new(g.clone(), 10, 50);
 
-    let (r_uni, sim_uni) = run(cfg(), LocationView::new(g.clone(), MssId(0)), wl.clone(), 1_000_000);
+    let (r_uni, sim_uni) = run(
+        cfg(),
+        LocationView::new(g.clone(), MssId(0)),
+        wl.clone(),
+        1_000_000,
+    );
     let (r_bc, sim_bc) = run(
         cfg(),
         LocationView::new(g, MssId(0)).with_cell_broadcast(),

@@ -12,9 +12,10 @@
 //! "additional burden on the underlying network protocols" of L1; the buffer
 //! occupancy counter quantifies it.
 
+use crate::hash::FxHashMap;
 use crate::ids::{MhId, MssId};
 use crate::time::SimTime;
-use std::collections::{BTreeMap, BTreeSet, HashMap};
+use std::collections::{BTreeMap, BTreeSet};
 
 /// A directed channel on which FIFO order must hold.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -45,7 +46,9 @@ pub enum ChainKey {
 /// ```
 #[derive(Debug, Clone, Default)]
 pub struct FifoChains {
-    last: HashMap<ChainKey, SimTime>,
+    // Keyed lookups only — never iterated, so the deterministic fast hasher
+    // cannot influence event ordering.
+    last: FxHashMap<ChainKey, SimTime>,
 }
 
 impl FifoChains {
@@ -145,8 +148,9 @@ impl<M> PairState<M> {
 /// ```
 #[derive(Debug, Clone)]
 pub struct ReorderBuffers<M> {
-    tx_seq: HashMap<(MhId, MhId), u64>,
-    rx: HashMap<(MhId, MhId), PairState<M>>,
+    // Keyed lookups only — never iterated (see FifoChains::last).
+    tx_seq: FxHashMap<(MhId, MhId), u64>,
+    rx: FxHashMap<(MhId, MhId), PairState<M>>,
     /// Peak number of simultaneously-held (out-of-order) messages.
     peak_held: usize,
     currently_held: usize,
@@ -155,8 +159,8 @@ pub struct ReorderBuffers<M> {
 impl<M> Default for ReorderBuffers<M> {
     fn default() -> Self {
         ReorderBuffers {
-            tx_seq: HashMap::new(),
-            rx: HashMap::new(),
+            tx_seq: FxHashMap::default(),
+            rx: FxHashMap::default(),
             peak_held: 0,
             currently_held: 0,
         }

@@ -4,10 +4,9 @@ use crate::cost::{CostModel, EnergyModel};
 use crate::latency::LatencyModel;
 use crate::mobility::{DisconnectConfig, MobilityConfig};
 use crate::search::SearchPolicy;
-use serde::{Deserialize, Serialize};
 
 /// Per-channel-class latency distributions.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct LatencyConfig {
     /// Wired MSS↔MSS latency.
     pub fixed: LatencyModel,
@@ -28,7 +27,7 @@ impl Default for LatencyConfig {
 }
 
 /// How MHs are placed into cells at simulation start.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum Placement {
     /// MH `i` starts in cell `i mod M`.
     #[default]
@@ -55,7 +54,7 @@ pub enum Placement {
 /// assert_eq!(cfg.num_mss, 8);
 /// assert_eq!(cfg.num_mh, 64);
 /// ```
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct NetworkConfig {
     /// Number of mobile support stations, `M`.
     pub num_mss: usize,

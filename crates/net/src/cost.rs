@@ -17,8 +17,6 @@
 //! paper argues energy use is proportional to the number of wireless
 //! transmissions and receptions at the MH.
 
-use serde::{Deserialize, Serialize};
-
 /// Per-message-class cost parameters (`C_fixed`, `C_wireless`, `C_search`).
 ///
 /// The defaults reflect the paper's qualitative assumptions: wireless
@@ -34,7 +32,7 @@ use serde::{Deserialize, Serialize};
 /// assert_eq!(c.mh_to_mh(), 2 * c.c_wireless + c.c_search);
 /// assert_eq!(c.mss_to_remote_mh(), c.c_search + c.c_wireless);
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct CostModel {
     /// Cost of a point-to-point message between two fixed hosts.
     pub c_fixed: u64,
@@ -103,7 +101,7 @@ impl Default for CostModel {
 /// let e = EnergyModel::default();
 /// assert!(e.tx > 0 && e.rx > 0);
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct EnergyModel {
     /// Energy units consumed by one wireless transmission at an MH.
     pub tx: u64,

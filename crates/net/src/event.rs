@@ -3,10 +3,18 @@
 //! Events are ordered by `(time, insertion sequence)`: ties in simulated time
 //! are broken by insertion order, so a run is a total order fully determined
 //! by the configuration seed.
+//!
+//! The queue is a hand-rolled **four-ary min-heap** rather than
+//! `std::collections::BinaryHeap`. A 4-ary layout halves tree height, and
+//! since the hot loop is pop-heavy (every simulation event is pushed once and
+//! popped once), the shallower sift-down path plus the cache locality of four
+//! adjacent children is a measurable win at the 10⁴–10⁵ pending events the
+//! big sweeps reach (see `benches/micro.rs`). Keys `(time, seq)` are unique,
+//! so pop order is a total order independent of internal layout.
 
 use crate::time::SimTime;
-use std::cmp::Ordering;
-use std::collections::BinaryHeap;
+
+const ARITY: usize = 4;
 
 #[derive(Debug)]
 struct Entry<E> {
@@ -15,21 +23,10 @@ struct Entry<E> {
     body: E,
 }
 
-impl<E> PartialEq for Entry<E> {
-    fn eq(&self, other: &Self) -> bool {
-        self.time == other.time && self.seq == other.seq
-    }
-}
-impl<E> Eq for Entry<E> {}
-impl<E> PartialOrd for Entry<E> {
-    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
-        Some(self.cmp(other))
-    }
-}
-impl<E> Ord for Entry<E> {
-    fn cmp(&self, other: &Self) -> Ordering {
-        // BinaryHeap is a max-heap; reverse to pop the earliest first.
-        (other.time, other.seq).cmp(&(self.time, self.seq))
+impl<E> Entry<E> {
+    #[inline]
+    fn key(&self) -> (SimTime, u64) {
+        (self.time, self.seq)
     }
 }
 
@@ -49,7 +46,7 @@ impl<E> Ord for Entry<E> {
 /// ```
 #[derive(Debug)]
 pub struct EventQueue<E> {
-    heap: BinaryHeap<Entry<E>>,
+    heap: Vec<Entry<E>>,
     seq: u64,
 }
 
@@ -63,7 +60,16 @@ impl<E> EventQueue<E> {
     /// Creates an empty queue.
     pub fn new() -> Self {
         EventQueue {
-            heap: BinaryHeap::new(),
+            heap: Vec::new(),
+            seq: 0,
+        }
+    }
+
+    /// Creates an empty queue with room for `cap` pending events, so the
+    /// steady-state working set never reallocates.
+    pub fn with_capacity(cap: usize) -> Self {
+        EventQueue {
+            heap: Vec::with_capacity(cap),
             seq: 0,
         }
     }
@@ -73,16 +79,36 @@ impl<E> EventQueue<E> {
         let seq = self.seq;
         self.seq += 1;
         self.heap.push(Entry { time, seq, body });
+        self.sift_up(self.heap.len() - 1);
     }
 
     /// Removes and returns the earliest event.
     pub fn pop(&mut self) -> Option<(SimTime, E)> {
-        self.heap.pop().map(|e| (e.time, e.body))
+        if self.heap.is_empty() {
+            return None;
+        }
+        let last = self.heap.len() - 1;
+        self.heap.swap(0, last);
+        let e = self.heap.pop().expect("checked non-empty");
+        if !self.heap.is_empty() {
+            self.sift_down(0);
+        }
+        Some((e.time, e.body))
+    }
+
+    /// Fused peek-and-pop: removes the earliest event only when it is due at
+    /// or before `limit`. The kernel main loop uses this instead of a
+    /// `peek_time`/`pop` pair, saving one root comparison per event.
+    pub fn pop_if_at_or_before(&mut self, limit: SimTime) -> Option<(SimTime, E)> {
+        if self.heap.first()?.time > limit {
+            return None;
+        }
+        self.pop()
     }
 
     /// Time of the earliest pending event.
     pub fn peek_time(&self) -> Option<SimTime> {
-        self.heap.peek().map(|e| e.time)
+        self.heap.first().map(|e| e.time)
     }
 
     /// Number of pending events.
@@ -93,6 +119,43 @@ impl<E> EventQueue<E> {
     /// True when no events are pending.
     pub fn is_empty(&self) -> bool {
         self.heap.is_empty()
+    }
+
+    #[inline]
+    fn sift_up(&mut self, mut i: usize) {
+        while i > 0 {
+            let parent = (i - 1) / ARITY;
+            if self.heap[i].key() < self.heap[parent].key() {
+                self.heap.swap(i, parent);
+                i = parent;
+            } else {
+                break;
+            }
+        }
+    }
+
+    #[inline]
+    fn sift_down(&mut self, mut i: usize) {
+        let len = self.heap.len();
+        loop {
+            let first = ARITY * i + 1;
+            if first >= len {
+                break;
+            }
+            let mut min = first;
+            let end = (first + ARITY).min(len);
+            for c in (first + 1)..end {
+                if self.heap[c].key() < self.heap[min].key() {
+                    min = c;
+                }
+            }
+            if self.heap[min].key() < self.heap[i].key() {
+                self.heap.swap(i, min);
+                i = min;
+            } else {
+                break;
+            }
+        }
     }
 }
 
@@ -142,5 +205,53 @@ mod tests {
         q.push(SimTime::from_ticks(3), 'c');
         assert_eq!(q.pop().unwrap().1, 'c');
         assert_eq!(q.pop().unwrap().1, 'b');
+    }
+
+    #[test]
+    fn pop_if_at_or_before_respects_limit() {
+        let mut q = EventQueue::new();
+        q.push(SimTime::from_ticks(10), 'x');
+        q.push(SimTime::from_ticks(20), 'y');
+        assert!(q.pop_if_at_or_before(SimTime::from_ticks(5)).is_none());
+        assert_eq!(q.len(), 2);
+        let (t, e) = q.pop_if_at_or_before(SimTime::from_ticks(10)).unwrap();
+        assert_eq!((t.ticks(), e), (10, 'x'));
+        assert!(q.pop_if_at_or_before(SimTime::from_ticks(15)).is_none());
+        assert_eq!(
+            q.pop_if_at_or_before(SimTime::from_ticks(20)).unwrap().1,
+            'y'
+        );
+        assert!(q.pop_if_at_or_before(SimTime::from_ticks(99)).is_none());
+    }
+
+    #[test]
+    fn with_capacity_behaves_like_new() {
+        let mut q = EventQueue::with_capacity(128);
+        for i in (0..100).rev() {
+            q.push(SimTime::from_ticks(i), i);
+        }
+        let order: Vec<u64> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
+        assert_eq!(order, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn random_interleaving_matches_reference_sort() {
+        // Deterministic pseudo-random pushes; popped order must equal the
+        // stable sort by (time, insertion order).
+        let mut q = EventQueue::new();
+        let mut expect: Vec<(u64, u64)> = Vec::new();
+        let mut x = 0x2545F4914F6CDD1Du64;
+        for i in 0..500u64 {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            let t = x % 64;
+            q.push(SimTime::from_ticks(t), i);
+            expect.push((t, i));
+        }
+        expect.sort();
+        let got: Vec<(u64, u64)> =
+            std::iter::from_fn(|| q.pop().map(|(t, e)| (t.ticks(), e))).collect();
+        assert_eq!(got, expect);
     }
 }

@@ -5,7 +5,6 @@
 //! to one cell — one MSS — at a time. Newtypes keep the two id spaces from
 //! being confused at compile time ([C-NEWTYPE]).
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// Identifier of a mobile support station (fixed host).
@@ -21,7 +20,7 @@ use std::fmt;
 /// assert_eq!(m.index(), 3);
 /// assert_eq!(m.to_string(), "mss3");
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct MssId(pub u32);
 
 impl MssId {
@@ -56,7 +55,7 @@ impl From<u32> for MssId {
 /// assert_eq!(h.index(), 17);
 /// assert_eq!(h.to_string(), "mh17");
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct MhId(pub u32);
 
 impl MhId {
@@ -87,7 +86,7 @@ impl From<u32> for MhId {
 /// use mobidist_net::ids::GroupId;
 /// assert_eq!(GroupId(1).to_string(), "grp1");
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct GroupId(pub u32);
 
 impl fmt::Display for GroupId {
@@ -106,7 +105,7 @@ impl fmt::Display for GroupId {
 /// assert!(e.as_mh().is_some());
 /// assert!(Endpoint::Mss(MssId(0)).as_mss().is_some());
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum Endpoint {
     /// A fixed host / mobile support station.
     Mss(MssId),

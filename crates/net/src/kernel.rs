@@ -136,6 +136,9 @@ pub struct Kernel<M, T> {
     ledger: CostLedger,
     pending: VecDeque<ProtoEvent<M, T>>,
     trace: Trace,
+    /// Reusable buffer for cell-broadcast recipient lists, so the hot path
+    /// never allocates per call.
+    scratch_locals: Vec<MhId>,
 }
 
 impl<M: Debug + 'static, T: Debug + 'static> Kernel<M, T> {
@@ -159,7 +162,10 @@ impl<M: Debug + 'static, T: Debug + 'static> Kernel<M, T> {
         let mut k = Kernel {
             cfg,
             now: SimTime::ZERO,
-            queue: EventQueue::new(),
+            // Steady state holds at least one mobility event plus a handful
+            // of in-flight messages per MH; pre-size so the working set
+            // never reallocates.
+            queue: EventQueue::with_capacity((4 * num_mh).max(64)),
             rng,
             proto_rng,
             msss: vec![MssState::default(); m],
@@ -169,6 +175,7 @@ impl<M: Debug + 'static, T: Debug + 'static> Kernel<M, T> {
             ledger: CostLedger::new(num_mh),
             pending: VecDeque::new(),
             trace: Trace::default(),
+            scratch_locals: Vec::new(),
         };
         for i in 0..k.mhs.len() {
             let cell = k.mhs[i].cell.expect("fresh MH always has a cell");
@@ -177,7 +184,8 @@ impl<M: Debug + 'static, T: Debug + 'static> Kernel<M, T> {
         if k.cfg.mobility.enabled {
             for i in 0..k.cfg.num_mh {
                 let d = k.rng.exp_delay(k.cfg.mobility.mean_dwell);
-                k.queue.push(k.now + d, Ev::AutoLeave { mh: MhId(i as u32) });
+                k.queue
+                    .push(k.now + d, Ev::AutoLeave { mh: MhId(i as u32) });
             }
         }
         if k.cfg.disconnect.enabled {
@@ -285,18 +293,34 @@ impl<M: Debug + 'static, T: Debug + 'static> Kernel<M, T> {
         true
     }
 
+    /// Like [`advance`](Self::advance), but only consumes an event due at or
+    /// before `limit`. Fuses the peek/pop pair the run loops would otherwise
+    /// perform — one heap-root access per event instead of two.
+    pub(crate) fn advance_up_to(&mut self, limit: SimTime) -> bool {
+        let Some((t, ev)) = self.queue.pop_if_at_or_before(limit) else {
+            return false;
+        };
+        debug_assert!(t >= self.now, "event time regressed");
+        self.now = t;
+        self.process(ev);
+        true
+    }
+
     // ----- send operations -------------------------------------------------
 
     /// Point-to-point fixed-network send. Self-sends are free and take one
     /// tick — they are not messages in the model.
     pub fn send_fixed(&mut self, from: MssId, to: MssId, msg: M) {
         if from == to {
-            self.queue.push(self.now + 1, Ev::FixedDeliver { from, to, msg });
+            self.queue
+                .push(self.now + 1, Ev::FixedDeliver { from, to, msg });
             return;
         }
         self.ledger.charge_fixed(&self.cfg.cost);
         let lat = self.cfg.latency.fixed.sample(&mut self.rng);
-        let at = self.fifo.schedule(ChainKey::Fixed(from, to), self.now + lat);
+        let at = self
+            .fifo
+            .schedule(ChainKey::Fixed(from, to), self.now + lat);
         self.queue.push(at, Ev::FixedDeliver { from, to, msg });
     }
 
@@ -319,8 +343,13 @@ impl<M: Debug + 'static, T: Debug + 'static> Kernel<M, T> {
     /// each listener still pays its own reception energy. Returns the
     /// number of recipients.
     pub fn broadcast_cell(&mut self, mss: MssId, mut make: impl FnMut() -> M) -> usize {
-        let locals = self.local_mhs(mss);
+        // Reuse the kernel-owned scratch buffer: BTreeSet iteration is
+        // sorted (deterministic) and the Vec's capacity survives the call.
+        let mut locals = std::mem::take(&mut self.scratch_locals);
+        locals.clear();
+        locals.extend(self.msss[mss.index()].local.iter().copied());
         if locals.is_empty() {
+            self.scratch_locals = locals;
             return 0;
         }
         // One channel use regardless of listener count.
@@ -330,9 +359,7 @@ impl<M: Debug + 'static, T: Debug + 'static> Kernel<M, T> {
         for mh in &locals {
             let epoch = self.mhs[mh.index()].epoch;
             self.mhs[mh.index()].down_sent += 1;
-            let at = self
-                .fifo
-                .schedule(ChainKey::Down(mss, *mh), self.now + lat);
+            let at = self.fifo.schedule(ChainKey::Down(mss, *mh), self.now + lat);
             self.queue.push(
                 at,
                 Ev::DownDeliver {
@@ -344,7 +371,9 @@ impl<M: Debug + 'static, T: Debug + 'static> Kernel<M, T> {
                 },
             );
         }
-        locals.len()
+        let n = locals.len();
+        self.scratch_locals = locals;
+        n
     }
 
     /// Wireless uplink send from an MH to its current local MSS; buffered
@@ -716,7 +745,8 @@ impl<M: Debug + 'static, T: Debug + 'static> Kernel<M, T> {
                 .pattern
                 .next_cell(&mut self.rng, mh, mss, m, home)
         });
-        self.queue.push(self.now + gap, Ev::DoJoin { mh, mss: dest });
+        self.queue
+            .push(self.now + gap, Ev::DoJoin { mh, mss: dest });
     }
 
     fn do_join(&mut self, mh: MhId, mss: MssId) {
@@ -736,7 +766,11 @@ impl<M: Debug + 'static, T: Debug + 'static> Kernel<M, T> {
             self.ledger.bump("ha_registrations");
             self.ledger.bump("control_fixed");
         }
-        let supplied = if self.cfg.supply_prev_on_join { prev } else { None };
+        let supplied = if self.cfg.supply_prev_on_join {
+            prev
+        } else {
+            None
+        };
         if let Some(p) = supplied {
             if p != mss {
                 self.ledger.handoffs += 1;
@@ -823,8 +857,9 @@ impl<M: Debug + 'static, T: Debug + 'static> Kernel<M, T> {
             self.ledger.bump("ha_registrations");
             self.ledger.bump("control_fixed");
         }
-        self.trace
-            .record(self.now, || format!("{mh} reconnects at {mss} (was {old:?})"));
+        self.trace.record(self.now, || {
+            format!("{mh} reconnects at {mss} (was {old:?})")
+        });
         self.pending.push_back(ProtoEvent::Reconnected {
             mh,
             mss,
@@ -842,9 +877,16 @@ impl<M: Debug + 'static, T: Debug + 'static> Kernel<M, T> {
     }
 
     fn flush_outbox(&mut self, mh: MhId, mss: MssId) {
-        let msgs: Vec<OutMsg<M>> = self.mhs[mh.index()].outbox.drain(..).collect();
-        for out in msgs {
+        // Take the queue wholesale and hand it back afterwards so its
+        // allocation survives the MH's cell changes instead of being
+        // rebuilt on every join/reconnect.
+        let mut msgs = std::mem::take(&mut self.mhs[mh.index()].outbox);
+        for out in msgs.drain(..) {
             self.push_uplink(mh, mss, out);
+        }
+        let st = &mut self.mhs[mh.index()];
+        if st.outbox.is_empty() {
+            st.outbox = msgs;
         }
     }
 }

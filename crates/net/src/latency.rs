@@ -6,7 +6,6 @@
 //! [`FifoChains`](crate::channel::FifoChains)).
 
 use crate::rng::SimRng;
-use serde::{Deserialize, Serialize};
 
 /// A latency distribution, sampled per message, in ticks.
 ///
@@ -20,7 +19,7 @@ use serde::{Deserialize, Serialize};
 /// let v = LatencyModel::Uniform { lo: 2, hi: 6 }.sample(&mut rng);
 /// assert!((2..=6).contains(&v));
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum LatencyModel {
     /// Constant latency.
     Fixed(u64),
@@ -100,7 +99,10 @@ mod tests {
     #[test]
     fn upper_bounds() {
         assert_eq!(LatencyModel::Fixed(5).upper_bound(), Some(5));
-        assert_eq!(LatencyModel::Uniform { lo: 1, hi: 8 }.upper_bound(), Some(8));
+        assert_eq!(
+            LatencyModel::Uniform { lo: 1, hi: 8 }.upper_bound(),
+            Some(8)
+        );
         assert_eq!(LatencyModel::Exp { mean: 5 }.upper_bound(), None);
     }
 }

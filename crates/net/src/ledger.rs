@@ -9,7 +9,6 @@
 
 use crate::cost::CostModel;
 use crate::ids::MhId;
-use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 use std::fmt;
 
@@ -30,7 +29,7 @@ use std::fmt;
 /// assert_eq!(l.wireless_msgs, 1);
 /// assert_eq!(l.total_cost(), c.c_fixed + c.c_wireless);
 /// ```
-#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct CostLedger {
     /// Messages sent on the fixed (wired) network.
     pub fixed_msgs: u64,
@@ -213,7 +212,10 @@ impl fmt::Display for CostLedger {
         writeln!(
             f,
             "fixed={} wireless={} searches={} (re={}, failed={})",
-            self.fixed_msgs, self.wireless_msgs, self.searches, self.re_searches,
+            self.fixed_msgs,
+            self.wireless_msgs,
+            self.searches,
+            self.re_searches,
             self.search_failures
         )?;
         writeln!(

@@ -9,10 +9,9 @@
 
 use crate::ids::{MhId, MssId};
 use crate::rng::SimRng;
-use serde::{Deserialize, Serialize};
 
 /// How a moving MH chooses its next cell.
-#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub enum MovePattern {
     /// Uniformly random among the other `M − 1` cells.
     #[default]
@@ -74,7 +73,7 @@ impl MovePattern {
 }
 
 /// Configuration of the autonomous mobility process.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct MobilityConfig {
     /// Whether MHs move autonomously at all.
     pub enabled: bool,
@@ -111,7 +110,7 @@ impl MobilityConfig {
 }
 
 /// Configuration of the voluntary disconnection process.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct DisconnectConfig {
     /// Whether MHs disconnect autonomously.
     pub enabled: bool,
@@ -156,7 +155,10 @@ mod tests {
     fn single_cell_system_cannot_move() {
         let mut rng = SimRng::seed_from(5);
         let p = MovePattern::UniformRandom;
-        assert_eq!(p.next_cell(&mut rng, MhId(0), MssId(0), 1, MssId(0)), MssId(0));
+        assert_eq!(
+            p.next_cell(&mut rng, MhId(0), MssId(0), 1, MssId(0)),
+            MssId(0)
+        );
     }
 
     #[test]

@@ -4,9 +4,11 @@
 //! disconnection times, workload think times) flow through one seeded
 //! [`SimRng`], so a run is fully determined by its
 //! [`NetworkConfig::seed`](crate::config::NetworkConfig).
-
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+//!
+//! The generator is an in-repo xoshiro256** seeded via SplitMix64 — no
+//! external crates, no global state, identical output on every platform.
+//! Cross-platform bit-reproducibility is a hard requirement: experiment
+//! tables are compared byte-for-byte between sequential and parallel runs.
 
 /// Seeded random source used by the kernel and by workloads.
 ///
@@ -20,32 +22,74 @@ use rand::{Rng, SeedableRng};
 /// ```
 #[derive(Debug, Clone)]
 pub struct SimRng {
-    inner: StdRng,
+    s: [u64; 4],
+}
+
+/// SplitMix64 step, used to expand a 64-bit seed into generator state.
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
 }
 
 impl SimRng {
     /// Creates an rng from a 64-bit seed.
     pub fn seed_from(seed: u64) -> Self {
+        let mut sm = seed;
         SimRng {
-            inner: StdRng::seed_from_u64(seed),
+            s: [
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+            ],
         }
+    }
+
+    /// Next raw 64-bit draw (xoshiro256**).
+    #[inline]
+    pub fn next_u64(&mut self) -> u64 {
+        let result = self.s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        result
     }
 
     /// Derives an independent stream for a sub-component, so adding draws in
     /// one component does not perturb another.
     pub fn fork(&mut self, stream: u64) -> SimRng {
-        let s = self.inner.random::<u64>() ^ stream.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        let s = self.next_u64() ^ stream.wrapping_mul(0x9E37_79B9_7F4A_7C15);
         SimRng::seed_from(s)
     }
 
-    /// Uniform draw in `0..n`.
+    /// Uniform draw in `0..n`, via Lemire's unbiased multiply-shift
+    /// rejection method.
     ///
     /// # Panics
     ///
     /// Panics if `n == 0`.
     pub fn below(&mut self, n: u64) -> u64 {
         assert!(n > 0, "below(0) is meaningless");
-        self.inner.random_range(0..n)
+        loop {
+            let x = self.next_u64();
+            let m = (x as u128) * (n as u128);
+            let low = m as u64;
+            if low >= n {
+                return (m >> 64) as u64;
+            }
+            // Rejection zone: accept unless low falls below the threshold.
+            let threshold = n.wrapping_neg() % n;
+            if low >= threshold {
+                return (m >> 64) as u64;
+            }
+        }
     }
 
     /// Uniform draw in `lo..=hi`.
@@ -55,13 +99,27 @@ impl SimRng {
     /// Panics if `lo > hi`.
     pub fn between(&mut self, lo: u64, hi: u64) -> u64 {
         assert!(lo <= hi, "empty range {lo}..={hi}");
-        self.inner.random_range(lo..=hi)
+        if lo == 0 && hi == u64::MAX {
+            return self.next_u64();
+        }
+        lo + self.below(hi - lo + 1)
+    }
+
+    /// Uniform draw in `[0, 1)` with 53 bits of precision.
+    #[inline]
+    pub fn unit_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
     }
 
     /// Bernoulli draw with probability `p` (clamped to `[0, 1]`).
     pub fn chance(&mut self, p: f64) -> bool {
         let p = p.clamp(0.0, 1.0);
-        self.inner.random_bool(p)
+        if p == 0.0 {
+            // Still consume one draw so the stream advances uniformly.
+            let _ = self.next_u64();
+            return false;
+        }
+        self.unit_f64() < p
     }
 
     /// Geometric approximation of an exponential delay with the given mean,
@@ -70,8 +128,11 @@ impl SimRng {
         if mean == 0 {
             return 1;
         }
-        let u: f64 = self.inner.random_range(f64::MIN_POSITIVE..1.0);
-        let d = -(u.ln()) * mean as f64;
+        let mut u = self.unit_f64();
+        if u <= 0.0 {
+            u = f64::MIN_POSITIVE;
+        }
+        let d = -((1.0 - u).ln()) * mean as f64;
         (d.round() as u64).clamp(1, mean.saturating_mul(64).max(1))
     }
 
@@ -104,7 +165,9 @@ mod tests {
     fn different_seeds_diverge() {
         let mut a = SimRng::seed_from(1);
         let mut b = SimRng::seed_from(2);
-        let same = (0..64).filter(|_| a.below(1_000_000) == b.below(1_000_000)).count();
+        let same = (0..64)
+            .filter(|_| a.below(1_000_000) == b.below(1_000_000))
+            .count();
         assert!(same < 4, "streams should diverge, {same} collisions");
     }
 
@@ -115,6 +178,27 @@ mod tests {
             let v = r.between(5, 9);
             assert!((5..=9).contains(&v));
             assert!(r.below(3) < 3);
+        }
+    }
+
+    #[test]
+    fn below_is_roughly_uniform() {
+        let mut r = SimRng::seed_from(99);
+        let mut buckets = [0u32; 10];
+        for _ in 0..10_000 {
+            buckets[r.below(10) as usize] += 1;
+        }
+        for (i, b) in buckets.iter().enumerate() {
+            assert!((800..1200).contains(b), "bucket {i} count {b} out of range");
+        }
+    }
+
+    #[test]
+    fn unit_f64_in_range() {
+        let mut r = SimRng::seed_from(5);
+        for _ in 0..1000 {
+            let u = r.unit_f64();
+            assert!((0.0..1.0).contains(&u));
         }
     }
 

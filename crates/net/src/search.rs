@@ -12,11 +12,9 @@
 //! [`Oracle`]: SearchPolicy::Oracle
 //! [`Flood`]: SearchPolicy::Flood
 
-use serde::{Deserialize, Serialize};
-
 /// How a source MSS locates an MH and forwards a message to its current
 /// local MSS.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum SearchPolicy {
     /// Abstract constant-cost search: charges `C_search` from the
     /// [`CostModel`](crate::cost::CostModel) and takes the configured search

@@ -6,7 +6,6 @@
 //! latency and search latency configured in
 //! [`LatencyConfig`](crate::config::LatencyConfig).
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 use std::ops::{Add, AddAssign, Sub};
 
@@ -20,9 +19,7 @@ use std::ops::{Add, AddAssign, Sub};
 /// assert_eq!(t.ticks(), 5);
 /// assert_eq!((t + 3) - t, 3);
 /// ```
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub struct SimTime(u64);
 
 impl SimTime {

@@ -31,7 +31,13 @@ impl Protocol for Recorder {
     fn on_timer(&mut self, _: &mut Ctx<'_, String, u32>, t: u32) {
         self.timers.push(t);
     }
-    fn on_mh_joined(&mut self, _: &mut Ctx<'_, String, u32>, mh: MhId, mss: MssId, prev: Option<MssId>) {
+    fn on_mh_joined(
+        &mut self,
+        _: &mut Ctx<'_, String, u32>,
+        mh: MhId,
+        mss: MssId,
+        prev: Option<MssId>,
+    ) {
         self.joined.push((mh, mss, prev));
     }
     fn on_mh_left(&mut self, _: &mut Ctx<'_, String, u32>, mh: MhId, mss: MssId) {
@@ -40,13 +46,31 @@ impl Protocol for Recorder {
     fn on_mh_disconnected(&mut self, _: &mut Ctx<'_, String, u32>, mh: MhId, mss: MssId) {
         self.disconnected.push((mh, mss));
     }
-    fn on_mh_reconnected(&mut self, _: &mut Ctx<'_, String, u32>, mh: MhId, mss: MssId, prev: Option<MssId>) {
+    fn on_mh_reconnected(
+        &mut self,
+        _: &mut Ctx<'_, String, u32>,
+        mh: MhId,
+        mss: MssId,
+        prev: Option<MssId>,
+    ) {
         self.reconnected.push((mh, mss, prev));
     }
-    fn on_search_failed(&mut self, _: &mut Ctx<'_, String, u32>, origin: MssId, target: MhId, msg: String) {
+    fn on_search_failed(
+        &mut self,
+        _: &mut Ctx<'_, String, u32>,
+        origin: MssId,
+        target: MhId,
+        msg: String,
+    ) {
         self.search_failed.push((origin, target, msg));
     }
-    fn on_wireless_lost(&mut self, _: &mut Ctx<'_, String, u32>, mss: MssId, mh: MhId, msg: String) {
+    fn on_wireless_lost(
+        &mut self,
+        _: &mut Ctx<'_, String, u32>,
+        mss: MssId,
+        mh: MhId,
+        msg: String,
+    ) {
         self.wireless_lost.push((mss, mh, msg));
     }
 }
@@ -88,7 +112,10 @@ fn wireless_round_trip_costs_and_energy() {
     s.run_to_quiescence(10_000);
     assert_eq!(s.protocol().mss_msgs.len(), 1);
     assert_eq!(s.protocol().mss_msgs[0].1, Src::Mh(MhId(0)));
-    s.with_ctx(|ctx, _| ctx.send_wireless_down(MssId(0), MhId(0), "down".into()).unwrap());
+    s.with_ctx(|ctx, _| {
+        ctx.send_wireless_down(MssId(0), MhId(0), "down".into())
+            .unwrap()
+    });
     s.run_to_quiescence(20_000);
     assert_eq!(s.protocol().mh_msgs.len(), 1);
     let l = s.ledger();
@@ -107,7 +134,10 @@ fn wireless_down_to_non_local_mh_is_rejected() {
     let err = s.with_ctx(|ctx, _| ctx.send_wireless_down(MssId(0), MhId(1), "x".into()));
     assert_eq!(
         err.unwrap_err(),
-        NetError::NotLocal { mss: MssId(0), mh: MhId(1) }
+        NetError::NotLocal {
+            mss: MssId(0),
+            mh: MhId(1)
+        }
     );
 }
 
@@ -120,7 +150,11 @@ fn search_send_costs_c_search_plus_wireless() {
     let r = s.protocol();
     assert_eq!(r.mh_msgs.len(), 1);
     assert_eq!(r.mh_msgs[0].0, MhId(5));
-    assert_eq!(r.mh_msgs[0].1, Src::Mss(MssId(0)), "src is the search origin");
+    assert_eq!(
+        r.mh_msgs[0].1,
+        Src::Mss(MssId(0)),
+        "src is the search origin"
+    );
     let l = s.ledger();
     let c = s.kernel().config().cost;
     assert_eq!(l.searches, 1);
@@ -155,7 +189,10 @@ fn flood_search_charges_control_messages() {
     let c = s.kernel().config().cost;
     assert_eq!(l.searches, 1);
     // M - 1 queries + reply + forward at C_fixed each.
-    assert_eq!(l.search_cost, SearchPolicy::flood_message_count(8) * c.c_fixed);
+    assert_eq!(
+        l.search_cost,
+        SearchPolicy::flood_message_count(8) * c.c_fixed
+    );
     assert!(l.search_cost > c.c_fixed, "flood must exceed one fixed hop");
 }
 
@@ -224,7 +261,11 @@ fn search_for_mid_move_mh_eventually_delivers() {
         ctx.search_send(MssId(0), MhId(1), "catch-me".into());
     });
     s.run_to_quiescence(100_000);
-    assert_eq!(s.protocol().mh_msgs.len(), 1, "eventual delivery despite the move");
+    assert_eq!(
+        s.protocol().mh_msgs.len(),
+        1,
+        "eventual delivery despite the move"
+    );
     assert!(
         s.ledger().searches >= 1,
         "at least the initial search is charged"
@@ -258,7 +299,8 @@ fn prefix_delivery_drops_in_flight_downlink_on_leave() {
     let mut s = sim(2, 2);
     // Send a local downlink and immediately have the MH leave the cell.
     s.with_ctx(|ctx, _| {
-        ctx.send_wireless_down(MssId(0), MhId(0), "too-late".into()).unwrap();
+        ctx.send_wireless_down(MssId(0), MhId(0), "too-late".into())
+            .unwrap();
         ctx.initiate_move(MhId(0), Some(MssId(1)));
     });
     s.run_to_quiescence(50_000);
@@ -279,7 +321,11 @@ fn searched_message_survives_leave_and_redelivers() {
     s.step();
     s.with_ctx(|ctx, _| ctx.initiate_move(MhId(0), Some(MssId(3))));
     s.run_to_quiescence(100_000);
-    assert_eq!(s.protocol().mh_msgs.len(), 1, "search-routed delivery is eventual");
+    assert_eq!(
+        s.protocol().mh_msgs.len(),
+        1,
+        "search-routed delivery is eventual"
+    );
     assert_eq!(s.protocol().mh_msgs[0].2, "persistent");
 }
 
@@ -347,7 +393,8 @@ fn doze_interruptions_are_counted() {
     let mut s = sim(2, 2);
     s.with_ctx(|ctx, _| {
         ctx.set_doze(MhId(0), true);
-        ctx.send_wireless_down(MssId(0), MhId(0), "wake!".into()).unwrap();
+        ctx.send_wireless_down(MssId(0), MhId(0), "wake!".into())
+            .unwrap();
     });
     s.run_to_quiescence(10_000);
     assert_eq!(s.ledger().doze_interruptions, 1);
@@ -355,7 +402,8 @@ fn doze_interruptions_are_counted() {
     // Non-dozing delivery adds no interruption.
     s.with_ctx(|ctx, _| {
         ctx.set_doze(MhId(0), false);
-        ctx.send_wireless_down(MssId(0), MhId(0), "again".into()).unwrap();
+        ctx.send_wireless_down(MssId(0), MhId(0), "again".into())
+            .unwrap();
     });
     s.run_to_quiescence(20_000);
     assert_eq!(s.ledger().doze_interruptions, 1);
@@ -386,7 +434,12 @@ fn fixed_channel_is_fifo_per_pair() {
         }
     });
     s.run_to_quiescence(100_000);
-    let got: Vec<&str> = s.protocol().mss_msgs.iter().map(|(_, _, m)| m.as_str()).collect();
+    let got: Vec<&str> = s
+        .protocol()
+        .mss_msgs
+        .iter()
+        .map(|(_, _, m)| m.as_str())
+        .collect();
     let want: Vec<String> = (0..50).map(|i| format!("m{i}")).collect();
     assert_eq!(got, want.iter().map(|s| s.as_str()).collect::<Vec<_>>());
 }
@@ -399,7 +452,8 @@ fn mh_to_mh_is_fifo_even_across_moves() {
     let mut s = Simulation::new(cfg, Recorder::default());
     s.with_ctx(|ctx, _| {
         for i in 0..10 {
-            ctx.mh_send_to_mh(MhId(0), MhId(3), format!("f{i}")).unwrap();
+            ctx.mh_send_to_mh(MhId(0), MhId(3), format!("f{i}"))
+                .unwrap();
         }
         // Receiver moves while messages are in flight.
         ctx.initiate_move(MhId(3), Some(MssId(0)));
@@ -424,19 +478,25 @@ fn autonomous_mobility_generates_moves_deterministically() {
     let mut b = Simulation::new(cfg, Recorder::default());
     a.run_until(SimTime::from_ticks(5_000));
     b.run_until(SimTime::from_ticks(5_000));
-    assert!(a.ledger().moves > 10, "expected many moves, saw {}", a.ledger().moves);
+    assert!(
+        a.ledger().moves > 10,
+        "expected many moves, saw {}",
+        a.ledger().moves
+    );
     assert_eq!(a.ledger(), b.ledger(), "same seed ⇒ identical run");
     assert_eq!(a.protocol().joined, b.protocol().joined);
 }
 
 #[test]
 fn autonomous_disconnects_reconnect_eventually() {
-    let cfg = NetworkConfig::new(4, 8).with_seed(8).with_disconnect(DisconnectConfig {
-        enabled: true,
-        mean_uptime: 300,
-        mean_downtime: 50,
-        p_supply_prev: 1.0,
-    });
+    let cfg = NetworkConfig::new(4, 8)
+        .with_seed(8)
+        .with_disconnect(DisconnectConfig {
+            enabled: true,
+            mean_uptime: 300,
+            mean_downtime: 50,
+            p_supply_prev: 1.0,
+        });
     let mut s = Simulation::new(cfg, Recorder::default());
     s.run_until(SimTime::from_ticks(5_000));
     assert!(s.ledger().disconnects > 0);
@@ -456,9 +516,15 @@ fn control_messages_do_not_pollute_algorithm_counters() {
     s.run_until(SimTime::from_ticks(2_000));
     let l = s.ledger();
     assert!(l.moves > 0);
-    assert_eq!(l.fixed_msgs, 0, "no algorithm ran; counters must stay clean");
+    assert_eq!(
+        l.fixed_msgs, 0,
+        "no algorithm ran; counters must stay clean"
+    );
     assert_eq!(l.wireless_msgs, 0);
-    assert!(l.custom("control_wireless") > 0, "control plane is accounted separately");
+    assert!(
+        l.custom("control_wireless") > 0,
+        "control plane is accounted separately"
+    );
 }
 
 #[test]

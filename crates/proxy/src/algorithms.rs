@@ -110,7 +110,14 @@ impl StaticAlgorithm for CentralCounter {
             CounterMsg::Add { client } => {
                 debug_assert_eq!(at, ProcId(0));
                 self.value += 1;
-                ctx.send(at, client, CounterMsg::Value { client, value: self.value });
+                ctx.send(
+                    at,
+                    client,
+                    CounterMsg::Value {
+                        client,
+                        value: self.value,
+                    },
+                );
             }
             CounterMsg::Value { client, value } => {
                 ctx.output(client, value);
@@ -193,9 +200,7 @@ impl StaticAlgorithm for Barrier {
 impl Barrier {
     fn note_arrival(&mut self, ctx: &mut StaticCtx<BarrierMsg>, who: ProcId) {
         *self.arrivals.entry(who).or_insert(0) += 1;
-        while self.arrivals.len() == ctx.num_procs()
-            && self.arrivals.values().all(|c| *c > 0)
-        {
+        while self.arrivals.len() == ctx.num_procs() && self.arrivals.values().all(|c| *c > 0) {
             for c in self.arrivals.values_mut() {
                 *c -= 1;
             }
@@ -229,7 +234,12 @@ mod tests {
         // Remote client routes through the owner.
         c.on_input(&mut ctx, ProcId(2), 0);
         assert_eq!(c.value(), 0, "not incremented until the owner hears");
-        c.on_msg(&mut ctx, ProcId(0), ProcId(2), CounterMsg::Add { client: ProcId(2) });
+        c.on_msg(
+            &mut ctx,
+            ProcId(0),
+            ProcId(2),
+            CounterMsg::Add { client: ProcId(2) },
+        );
         assert_eq!(c.value(), 1);
         // Local client is immediate.
         c.on_input(&mut ctx, ProcId(0), 0);
@@ -241,9 +251,19 @@ mod tests {
         let mut b = Barrier::new();
         let mut ctx = StaticCtx::new(3);
         b.on_input(&mut ctx, ProcId(0), 0);
-        b.on_msg(&mut ctx, ProcId(0), ProcId(1), BarrierMsg::Arrived { who: ProcId(1) });
+        b.on_msg(
+            &mut ctx,
+            ProcId(0),
+            ProcId(1),
+            BarrierMsg::Arrived { who: ProcId(1) },
+        );
         assert_eq!(b.rounds(), 0);
-        b.on_msg(&mut ctx, ProcId(0), ProcId(2), BarrierMsg::Arrived { who: ProcId(2) });
+        b.on_msg(
+            &mut ctx,
+            ProcId(0),
+            ProcId(2),
+            BarrierMsg::Arrived { who: ProcId(2) },
+        );
         assert_eq!(b.rounds(), 1);
     }
 }

@@ -23,11 +23,10 @@
 use mobidist_net::host::MhStatus;
 use mobidist_net::ids::{MhId, MssId};
 use mobidist_net::proto::{Ctx, Protocol, Src};
-use serde::{Deserialize, Serialize};
 use std::fmt::Debug;
 
 /// Index of a static process (one per mobile client).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct ProcId(pub u32);
 
 impl ProcId {
@@ -38,7 +37,7 @@ impl ProcId {
 }
 
 /// How proxies are associated with mobile hosts.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum ProxyPolicy {
     /// The MH's initial MSS stays its proxy forever; every move triggers a
     /// location update to the proxy.
@@ -168,7 +167,7 @@ pub enum PrxMsg<AM> {
 }
 
 /// Workload: each mobile client submits inputs and awaits outputs.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ProxyWorkload {
     /// Inputs each client submits.
     pub inputs_per_client: usize,
@@ -186,7 +185,7 @@ impl Default for ProxyWorkload {
 }
 
 /// Summary of one proxy-runtime run.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ProxyReport {
     /// Inputs submitted by clients.
     pub inputs_sent: u64,
@@ -288,7 +287,12 @@ impl<A: StaticAlgorithm> ProxyRuntime<A> {
         }
     }
 
-    fn route_output(&mut self, ctx: &mut Ctx<'_, PrxMsg<A::Msg>, PrxTimer>, proc: ProcId, value: u64) {
+    fn route_output(
+        &mut self,
+        ctx: &mut Ctx<'_, PrxMsg<A::Msg>, PrxTimer>,
+        proc: ProcId,
+        value: u64,
+    ) {
         let proxy = self.proxy_of[proc.index()];
         let mh = self.clients[proc.index()];
         let believed = match self.policy {
@@ -375,7 +379,13 @@ impl<A: StaticAlgorithm> Protocol for ProxyRuntime<A> {
         }
     }
 
-    fn on_mss_msg(&mut self, ctx: &mut Ctx<'_, Self::Msg, Self::Timer>, at: MssId, _src: Src, msg: Self::Msg) {
+    fn on_mss_msg(
+        &mut self,
+        ctx: &mut Ctx<'_, Self::Msg, Self::Timer>,
+        at: MssId,
+        _src: Src,
+        msg: Self::Msg,
+    ) {
         match msg {
             PrxMsg::Input { proc, value } => {
                 // Arrived at the client's current MSS; relay to the proxy if
@@ -428,7 +438,13 @@ impl<A: StaticAlgorithm> Protocol for ProxyRuntime<A> {
         }
     }
 
-    fn on_mh_msg(&mut self, _ctx: &mut Ctx<'_, Self::Msg, Self::Timer>, _at: MhId, _src: Src, msg: Self::Msg) {
+    fn on_mh_msg(
+        &mut self,
+        _ctx: &mut Ctx<'_, Self::Msg, Self::Timer>,
+        _at: MhId,
+        _src: Src,
+        msg: Self::Msg,
+    ) {
         match msg {
             PrxMsg::Output { .. } => {
                 self.report.outputs_delivered += 1;

@@ -40,7 +40,7 @@ pub mod framework;
 pub mod prelude {
     pub use crate::algorithms::{Barrier, BarrierMsg, CentralCounter, CounterMsg, EchoService};
     pub use crate::framework::{
-        PrxMsg, PrxTimer, ProcId, ProxyPolicy, ProxyReport, ProxyRuntime, ProxyWorkload,
+        ProcId, ProxyPolicy, ProxyReport, ProxyRuntime, ProxyWorkload, PrxMsg, PrxTimer,
         StaticAlgorithm, StaticCtx,
     };
 }

@@ -115,7 +115,13 @@ fn central_counter_serializes_increments_from_mobile_clients() {
         inputs_per_client: 3,
         mean_interval: 70,
     };
-    let (r, sim) = run(cfg, CentralCounter::new(), ProxyPolicy::LocalMss, wl, 1_000_000);
+    let (r, sim) = run(
+        cfg,
+        CentralCounter::new(),
+        ProxyPolicy::LocalMss,
+        wl,
+        1_000_000,
+    );
     assert_eq!(r.inputs_sent, 15);
     assert_eq!(r.outputs_delivered, 15, "{r:?}");
     assert_eq!(sim.protocol().algorithm().value(), 15);
@@ -240,7 +246,12 @@ fn output_lost_to_a_departure_is_recovered_by_search() {
     let clients: Vec<MhId> = (0..4u32).map(MhId).collect();
     let mut sim = Simulation::new(
         cfg,
-        ProxyRuntime::new(EchoService::new(), clients, ProxyPolicy::Adaptive { radius: 1 }, wl),
+        ProxyRuntime::new(
+            EchoService::new(),
+            clients,
+            ProxyPolicy::Adaptive { radius: 1 },
+            wl,
+        ),
     );
     sim.run_until(SimTime::from_ticks(2_000_000));
     let r = sim.protocol().report();

@@ -106,5 +106,9 @@ fn main() {
             < per_job(r1.ledger().total_energy(), rep1.completed),
         "the redesign must drain less battery per job"
     );
-    assert_eq!(r2.ledger().doze_interruptions, 0, "R2' lets idle laptops sleep");
+    assert_eq!(
+        r2.ledger().doze_interruptions,
+        0,
+        "R2' lets idle laptops sleep"
+    );
 }

@@ -3,11 +3,16 @@
 //! ```text
 //! cargo run --release --bin experiments -- all
 //! cargo run --release --bin experiments -- e1 e5 --quick
+//! cargo run --release --bin experiments -- e2 --jobs 4
 //! cargo run --release --bin experiments -- --list
 //! ```
 //!
 //! Equivalent to running the `harness = false` bench targets, but from one
 //! binary with experiment selection.
+//!
+//! `--jobs N` sets the worker count for sweep fan-out (`--jobs 1` forces the
+//! sequential path; default is the machine's available parallelism). Tables
+//! are byte-identical at every worker count.
 
 use mobidist_bench::{exp_group, exp_model, exp_mutex, exp_proxy, Table};
 use std::process::ExitCode;
@@ -57,18 +62,39 @@ fn main() -> ExitCode {
     let quick = args.iter().any(|a| a == "--quick" || a == "-q");
     let list = args.iter().any(|a| a == "--list" || a == "-l");
     let csv = args.iter().any(|a| a == "--csv");
-    let selected: Vec<&str> = args
-        .iter()
-        .filter(|a| !a.starts_with('-'))
-        .map(String::as_str)
-        .collect();
+    let mut jobs_value: Option<String> = None;
+    let mut selected: Vec<&str> = Vec::new();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        if a == "--jobs" || a == "-j" {
+            match it.next() {
+                Some(v) => jobs_value = Some(v.clone()),
+                None => {
+                    eprintln!("--jobs requires a worker count");
+                    return ExitCode::FAILURE;
+                }
+            }
+        } else if let Some(v) = a.strip_prefix("--jobs=") {
+            jobs_value = Some(v.to_string());
+        } else if !a.starts_with('-') {
+            selected.push(a.as_str());
+        }
+    }
+    if let Some(v) = jobs_value {
+        if v.parse::<usize>().map(|n| n >= 1) != Ok(true) {
+            eprintln!("--jobs expects a positive integer, got '{v}'");
+            return ExitCode::FAILURE;
+        }
+        // The sweep layer reads MOBIDIST_JOBS; see mobidist_bench::parallel.
+        std::env::set_var("MOBIDIST_JOBS", v);
+    }
 
     if list {
         print_list();
         return ExitCode::SUCCESS;
     }
     if selected.is_empty() {
-        eprintln!("usage: experiments [--quick] [--csv] <e0..e11 | all>...");
+        eprintln!("usage: experiments [--quick] [--csv] [--jobs N] <e0..e11 | all>...");
         print_list();
         return ExitCode::FAILURE;
     }

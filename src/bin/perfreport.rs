@@ -1,0 +1,212 @@
+//! Kernel performance report.
+//!
+//! Runs a fixed workload matrix through the simulator — sized well above the
+//! paper-scale experiments so kernel overhead dominates — and records wall
+//! time plus events/second for each, alongside sequential-vs-parallel wall
+//! times for the quick E1/E2/E5 sweeps. Results are printed as a table and
+//! written to `BENCH_kernel.json` (hand-rolled JSON; the workspace has no
+//! serde).
+//!
+//! ```text
+//! cargo run --release --bin perfreport
+//! ```
+//!
+//! Every workload is a fixed `(config, seed)` pair, so the *work done* is
+//! identical from run to run and across machines; only the wall times vary.
+
+use mobidist_bench::{exp_group, exp_mutex};
+use mobidist_core::prelude::*;
+use mobidist_group::prelude::*;
+use mobidist_net::prelude::*;
+use std::fmt::Write as _;
+use std::time::Instant;
+
+/// One measured kernel workload.
+struct KernelRow {
+    name: &'static str,
+    events: u64,
+    wall_ms: f64,
+    events_per_sec: f64,
+}
+
+/// Steps `sim` until `horizon` or quiescence, counting processed events.
+fn drive<P: Protocol>(sim: &mut Simulation<P>, horizon: u64) -> u64 {
+    let limit = SimTime::from_ticks(horizon);
+    let mut events = 0u64;
+    while sim.now() < limit && sim.step() {
+        events += 1;
+    }
+    events
+}
+
+fn measure(name: &'static str, run: impl Fn() -> u64) -> KernelRow {
+    // One warm-up, then the median of three timed runs.
+    let events = run();
+    let mut walls: Vec<f64> = (0..3)
+        .map(|_| {
+            let t0 = Instant::now();
+            let e = run();
+            assert_eq!(e, events, "workload must be deterministic");
+            t0.elapsed().as_secs_f64() * 1e3
+        })
+        .collect();
+    walls.sort_by(f64::total_cmp);
+    let wall_ms = walls[1];
+    KernelRow {
+        name,
+        events,
+        wall_ms,
+        events_per_sec: events as f64 / (wall_ms / 1e3),
+    }
+}
+
+fn kernel_matrix() -> Vec<KernelRow> {
+    vec![
+        measure("l2_mutex_n200_m8", || {
+            let cfg = NetworkConfig::new(8, 200).with_seed(11);
+            let wl = WorkloadConfig::all_mhs(200, 2);
+            let mut sim = Simulation::new(cfg, MutexHarness::new(L2::new(8), wl));
+            let events = drive(&mut sim, 50_000_000);
+            let r = sim.protocol().report();
+            assert_eq!(r.safety_violations, 0);
+            assert!(r.completed >= 300, "most requests must finish: {r:?}");
+            events
+        }),
+        measure("r2_ring_n120_m8", || {
+            let cfg = NetworkConfig::new(8, 120).with_seed(12);
+            let wl = WorkloadConfig::all_mhs(120, 2);
+            let algo = R2::new(8, RingGuard::Counter);
+            let mut sim = Simulation::new(cfg, MutexHarness::new(algo, wl));
+            let events = drive(&mut sim, 2_000_000);
+            assert_eq!(sim.protocol().report().safety_violations, 0);
+            events
+        }),
+        measure("location_view_g60_mobile", || {
+            let members: Vec<MhId> = (0..60u32).map(MhId).collect();
+            let cfg = NetworkConfig::new(8, 60)
+                .with_seed(13)
+                .with_mobility(MobilityConfig::moving(400));
+            let wl = GroupWorkload::new(members.clone(), 120, 50);
+            let mut sim = Simulation::new(
+                cfg,
+                GroupHarness::new(LocationView::new(members, MssId(0)), wl),
+            );
+            let events = drive(&mut sim, 2_000_000);
+            assert!(sim.protocol().report().delivered > 0);
+            events
+        }),
+    ]
+}
+
+/// One sweep timed sequentially and with the default worker pool.
+struct SweepRow {
+    name: &'static str,
+    seq_ms: f64,
+    par_ms: f64,
+    jobs: usize,
+}
+
+fn time_ms(f: impl Fn()) -> f64 {
+    f(); // warm-up
+    let t0 = Instant::now();
+    f();
+    t0.elapsed().as_secs_f64() * 1e3
+}
+
+type SweepFn = fn(bool) -> mobidist_bench::Table;
+
+fn sweep_matrix() -> Vec<SweepRow> {
+    let jobs = mobidist_bench::parallel::default_jobs();
+    let mut rows = Vec::new();
+    let sweeps: [(&'static str, SweepFn); 3] = [
+        ("e1_quick", exp_mutex::e1_lamport),
+        ("e2_quick", exp_mutex::e2_ring),
+        ("e5_quick", exp_group::e5_group_strategies),
+    ];
+    for (name, f) in sweeps {
+        std::env::set_var("MOBIDIST_JOBS", "1");
+        let seq_ms = time_ms(|| {
+            f(true);
+        });
+        std::env::remove_var("MOBIDIST_JOBS");
+        let par_ms = time_ms(|| {
+            f(true);
+        });
+        rows.push(SweepRow {
+            name,
+            seq_ms,
+            par_ms,
+            jobs,
+        });
+    }
+    rows
+}
+
+fn json_escape_free(s: &str) -> &str {
+    // All names in this report are static identifiers; assert rather than
+    // escape so a future rename cannot silently emit invalid JSON.
+    assert!(
+        s.chars().all(|c| c.is_ascii_alphanumeric() || c == '_'),
+        "JSON field would need escaping: {s}"
+    );
+    s
+}
+
+fn to_json(kernel: &[KernelRow], sweeps: &[SweepRow]) -> String {
+    let mut j = String::from("{\n  \"kernel\": [\n");
+    for (i, r) in kernel.iter().enumerate() {
+        let _ = writeln!(
+            j,
+            "    {{\"name\": \"{}\", \"events\": {}, \"wall_ms\": {:.3}, \"events_per_sec\": {:.0}}}{}",
+            json_escape_free(r.name),
+            r.events,
+            r.wall_ms,
+            r.events_per_sec,
+            if i + 1 < kernel.len() { "," } else { "" }
+        );
+    }
+    j.push_str("  ],\n  \"sweeps\": [\n");
+    for (i, r) in sweeps.iter().enumerate() {
+        let _ = writeln!(
+            j,
+            "    {{\"name\": \"{}\", \"seq_ms\": {:.3}, \"par_ms\": {:.3}, \"jobs\": {}, \"speedup\": {:.2}}}{}",
+            json_escape_free(r.name),
+            r.seq_ms,
+            r.par_ms,
+            r.jobs,
+            r.seq_ms / r.par_ms,
+            if i + 1 < sweeps.len() { "," } else { "" }
+        );
+    }
+    j.push_str("  ]\n}\n");
+    j
+}
+
+fn main() {
+    println!("kernel workload matrix (median of 3 runs):");
+    let kernel = kernel_matrix();
+    for r in &kernel {
+        println!(
+            "  {:<28} {:>10} events  {:>9.1} ms  {:>12.0} events/s",
+            r.name, r.events, r.wall_ms, r.events_per_sec
+        );
+    }
+    println!("\nsweep fan-out (sequential vs {} workers):", sweeps_jobs());
+    let sweeps = sweep_matrix();
+    for r in &sweeps {
+        println!(
+            "  {:<12} seq {:>8.1} ms   par {:>8.1} ms   speedup {:.2}x",
+            r.name,
+            r.seq_ms,
+            r.par_ms,
+            r.seq_ms / r.par_ms
+        );
+    }
+    let json = to_json(&kernel, &sweeps);
+    std::fs::write("BENCH_kernel.json", &json).expect("write BENCH_kernel.json");
+    println!("\nwrote BENCH_kernel.json");
+}
+
+fn sweeps_jobs() -> usize {
+    mobidist_bench::parallel::default_jobs()
+}

@@ -1,91 +1,111 @@
-//! Property-based tests over the whole stack: for randomly drawn network
-//! shapes, cost parameters, seeds and workloads, the core invariants of the
-//! paper's algorithms must hold.
+//! Randomized-but-deterministic tests over the whole stack: for seeded
+//! pseudo-random draws of network shape, cost parameters, seeds and
+//! workloads, the core invariants of the paper's algorithms must hold.
+//!
+//! These replace an earlier proptest suite with an in-repo case generator
+//! (the simulator's own [`SimRng`]), so the workspace builds with no
+//! external crates and every CI run exercises the identical case set.
 
 use mobidist::prelude::*;
-use proptest::prelude::*;
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
+/// Draws `cases` parameter tuples from a fixed stream and runs `f` on each.
+fn for_cases(label: &str, cases: u64, mut f: impl FnMut(&mut SimRng)) {
+    // Distinct label → distinct stream, so adding a test never perturbs
+    // another test's cases.
+    let mut seed = 0x5EED_BA5E_u64;
+    for b in label.bytes() {
+        seed = seed.wrapping_mul(31).wrapping_add(b as u64);
+    }
+    let mut rng = SimRng::seed_from(seed);
+    for case in 0..cases {
+        let mut case_rng = rng.fork(case);
+        f(&mut case_rng);
+    }
+}
 
-    /// L2 never violates mutual exclusion or timestamp ordering, and serves
-    /// every request, whatever the network shape, seed and mobility.
-    #[test]
-    fn prop_l2_safe_live_ordered(
-        m in 2usize..6,
-        n in 2usize..10,
-        seed in 0u64..1000,
-        dwell in prop::option::of(100u64..2000),
-    ) {
+/// L2 never violates mutual exclusion or timestamp ordering, and serves
+/// every request, whatever the network shape, seed and mobility.
+#[test]
+fn prop_l2_safe_live_ordered() {
+    for_cases("l2_safe_live_ordered", 24, |r| {
+        let m = r.between(2, 5) as usize;
+        let n = r.between(2, 9) as usize;
+        let seed = r.below(1000);
         let mut cfg = NetworkConfig::new(m, n).with_seed(seed);
-        if let Some(d) = dwell {
-            cfg = cfg.with_mobility(MobilityConfig::moving(d));
+        if r.chance(0.5) {
+            cfg = cfg.with_mobility(MobilityConfig::moving(r.between(100, 1999)));
         }
         let wl = WorkloadConfig::all_mhs(n, 1);
         let mut sim = Simulation::new(cfg, MutexHarness::new(L2::new(m), wl));
         sim.run_until(SimTime::from_ticks(20_000_000));
-        let r = sim.protocol().report();
-        prop_assert_eq!(r.safety_violations, 0);
-        prop_assert_eq!(r.order_violations, 0);
-        prop_assert_eq!(r.completed, n as u64, "{:?}", r);
-    }
+        let rep = sim.protocol().report();
+        assert_eq!(rep.safety_violations, 0);
+        assert_eq!(rep.order_violations, 0);
+        assert_eq!(rep.completed, n as u64, "{rep:?}");
+    });
+}
 
-    /// The R2 family preserves mutual exclusion and single-token semantics
-    /// under every guard and random mobility.
-    #[test]
-    fn prop_r2_safe_single_token(
-        m in 2usize..6,
-        n in 2usize..8,
-        seed in 0u64..1000,
-        guard_idx in 0usize..3,
-    ) {
-        let guard = [RingGuard::Plain, RingGuard::Counter, RingGuard::TokenList][guard_idx];
+/// The R2 family preserves mutual exclusion and single-token semantics
+/// under every guard and random mobility.
+#[test]
+fn prop_r2_safe_single_token() {
+    for_cases("r2_safe_single_token", 24, |r| {
+        let m = r.between(2, 5) as usize;
+        let n = r.between(2, 7) as usize;
+        let seed = r.below(1000);
+        let guard = *r.pick(&[RingGuard::Plain, RingGuard::Counter, RingGuard::TokenList]);
         let cfg = NetworkConfig::new(m, n)
             .with_seed(seed)
             .with_mobility(MobilityConfig::moving(500));
         let wl = WorkloadConfig::all_mhs(n, 1).with_think(30);
         let mut sim = Simulation::new(cfg, MutexHarness::new(R2::new(m, guard), wl));
         sim.run_until(SimTime::from_ticks(300_000));
-        let r = sim.protocol().report();
-        prop_assert_eq!(r.safety_violations, 0);
-        prop_assert_eq!(r.completed, n as u64, "{:?}", r);
+        let rep = sim.protocol().report();
+        assert_eq!(rep.safety_violations, 0);
+        assert_eq!(rep.completed, n as u64, "{rep:?}");
         // Token conservation: at most one MSS believes it holds the token.
-        prop_assert!(sim.protocol().algorithm().stations_with_token() <= 1);
-    }
+        assert!(sim.protocol().algorithm().stations_with_token() <= 1);
+    });
+}
 
-    /// L1's measured cost equals the paper's closed form exactly on static
-    /// networks, for any population and cost parameters.
-    #[test]
-    fn prop_l1_cost_formula_exact(
-        m in 2usize..6,
-        n in 2usize..12,
-        seed in 0u64..500,
-        cw in 1u64..20,
-        cs in 1u64..20,
-    ) {
-        let cost = CostModel::new(1, cw, cs.max(1));
+/// L1's measured cost equals the paper's closed form exactly on static
+/// networks, for any population and cost parameters.
+#[test]
+fn prop_l1_cost_formula_exact() {
+    for_cases("l1_cost_formula_exact", 24, |r| {
+        let m = r.between(2, 5) as usize;
+        let n = r.between(2, 11) as usize;
+        let seed = r.below(500);
+        let cw = r.between(1, 19);
+        let cs = r.between(1, 19);
+        let cost = CostModel::new(1, cw, cs);
         let cfg = NetworkConfig::new(m, n).with_seed(seed).with_cost(cost);
         let wl = WorkloadConfig::only(vec![MhId(0)], 1);
         let algo = L1::new((0..n as u32).map(MhId).collect());
         let mut sim = Simulation::new(cfg, MutexHarness::new(algo, wl));
         sim.run_until(SimTime::from_ticks(20_000_000));
-        prop_assert_eq!(sim.protocol().report().completed, 1);
-        let p = Params { c_fixed: 1, c_wireless: cw, c_search: cs.max(1) };
-        prop_assert_eq!(
+        assert_eq!(sim.protocol().report().completed, 1);
+        let p = Params {
+            c_fixed: 1,
+            c_wireless: cw,
+            c_search: cs,
+        };
+        assert_eq!(
             sim.ledger().total_cost(),
             mobidist::cost::l1_execution_cost(n as u64, p)
         );
-    }
+    });
+}
 
-    /// Group messages on a static network are delivered exactly once to
-    /// every member, by every strategy.
-    #[test]
-    fn prop_group_exactly_once_static(
-        m in 2usize..8,
-        g in 2usize..8,
-        seed in 0u64..500,
-        which in 0usize..3,
-    ) {
+/// Group messages on a static network are delivered exactly once to
+/// every member, by every strategy.
+#[test]
+fn prop_group_exactly_once_static() {
+    for_cases("group_exactly_once_static", 24, |r| {
+        let m = r.between(2, 7) as usize;
+        let g = r.between(2, 7) as usize;
+        let seed = r.below(500);
+        let which = r.below(3);
         let members: Vec<MhId> = (0..g as u32).map(MhId).collect();
         let cfg = NetworkConfig::new(m, g).with_seed(seed);
         let wl = GroupWorkload::new(members.clone(), 5, 50);
@@ -96,7 +116,8 @@ proptest! {
                 sim.protocol().report()
             }
             1 => {
-                let mut sim = Simulation::new(cfg, GroupHarness::new(AlwaysInform::new(members), wl));
+                let mut sim =
+                    Simulation::new(cfg, GroupHarness::new(AlwaysInform::new(members), wl));
                 sim.run_until(SimTime::from_ticks(1_000_000));
                 sim.protocol().report()
             }
@@ -109,21 +130,22 @@ proptest! {
                 sim.protocol().report()
             }
         };
-        prop_assert_eq!(report.sent, 5);
-        prop_assert_eq!(report.missed, 0);
-        prop_assert_eq!(report.duplicates, 0);
-        prop_assert_eq!(report.delivered, report.expected);
-    }
+        assert_eq!(report.sent, 5);
+        assert_eq!(report.missed, 0);
+        assert_eq!(report.duplicates, 0);
+        assert_eq!(report.delivered, report.expected);
+    });
+}
 
-    /// The location view converges to exactly the set of occupied cells
-    /// after any sequence of forced member moves.
-    #[test]
-    fn prop_location_view_converges(
-        m in 3usize..8,
-        g in 2usize..6,
-        seed in 0u64..500,
-        moves in prop::collection::vec((0u32..6, 0u32..8), 1..12),
-    ) {
+/// The location view converges to exactly the set of occupied cells
+/// after any sequence of forced member moves.
+#[test]
+fn prop_location_view_converges() {
+    for_cases("location_view_converges", 24, |r| {
+        let m = r.between(3, 7) as usize;
+        let g = r.between(2, 5) as usize;
+        let seed = r.below(500);
+        let n_moves = r.between(1, 11) as usize;
         let members: Vec<MhId> = (0..g as u32).map(MhId).collect();
         let cfg = NetworkConfig::new(m, g).with_seed(seed);
         let wl = GroupWorkload::new(members.clone(), 0, 100);
@@ -131,9 +153,9 @@ proptest! {
             cfg,
             GroupHarness::new(LocationView::new(members, MssId(0)), wl),
         );
-        for (mh, cell) in moves {
-            let mh = MhId(mh % g as u32);
-            let cell = MssId(cell % m as u32);
+        for _ in 0..n_moves {
+            let mh = MhId(r.below(g as u64) as u32);
+            let cell = MssId(r.below(m as u64) as u32);
             sim.with_ctx(|ctx, _| {
                 if ctx.current_cell(mh) != Some(cell) {
                     ctx.initiate_move(mh, Some(cell));
@@ -143,17 +165,18 @@ proptest! {
             // concurrency is exercised by the churn tests).
             sim.run_to_quiescence(5_000_000);
         }
-        prop_assert!(sim.protocol().strategy().is_consistent());
-    }
+        assert!(sim.protocol().strategy().is_consistent());
+    });
+}
 
-    /// Ledger arithmetic: total cost always decomposes into its parts, and
-    /// deltas of later snapshots never underflow.
-    #[test]
-    fn prop_ledger_decomposition(
-        m in 2usize..6,
-        n in 2usize..8,
-        seed in 0u64..500,
-    ) {
+/// Ledger arithmetic: total cost always decomposes into its parts, and
+/// deltas of later snapshots never underflow.
+#[test]
+fn prop_ledger_decomposition() {
+    for_cases("ledger_decomposition", 24, |r| {
+        let m = r.between(2, 5) as usize;
+        let n = r.between(2, 7) as usize;
+        let seed = r.below(500);
         let cfg = NetworkConfig::new(m, n)
             .with_seed(seed)
             .with_mobility(MobilityConfig::moving(200));
@@ -164,17 +187,20 @@ proptest! {
         sim.run_until(SimTime::from_ticks(200_000));
         let late = sim.ledger().clone();
         let d = late.delta(&early);
-        prop_assert_eq!(d.total_cost(), d.fixed_cost + d.wireless_cost + d.search_cost);
-        prop_assert!(late.total_cost() >= early.total_cost());
-        prop_assert_eq!(
-            late.wireless_msgs - early.wireless_msgs,
-            d.wireless_msgs
+        assert_eq!(
+            d.total_cost(),
+            d.fixed_cost + d.wireless_cost + d.search_cost
         );
-    }
+        assert!(late.total_cost() >= early.total_cost());
+        assert_eq!(late.wireless_msgs - early.wireless_msgs, d.wireless_msgs);
+    });
+}
 
-    /// Runs are bit-reproducible: identical seeds give identical ledgers.
-    #[test]
-    fn prop_determinism(seed in 0u64..300) {
+/// Runs are bit-reproducible: identical seeds give identical ledgers.
+#[test]
+fn prop_determinism() {
+    for_cases("determinism", 24, |r| {
+        let seed = r.below(300);
         let go = || {
             let cfg = NetworkConfig::new(3, 6)
                 .with_seed(seed)
@@ -184,23 +210,20 @@ proptest! {
             sim.run_until(SimTime::from_ticks(100_000));
             sim.ledger().clone()
         };
-        prop_assert_eq!(go(), go());
-    }
+        assert_eq!(go(), go());
+    });
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(16))]
-
-    /// The exactly-once extension holds its three guarantees — no miss, no
-    /// duplicate, one global total order — under arbitrary churn schedules.
-    #[test]
-    fn prop_exactly_once_invariants(
-        m in 3usize..8,
-        g in 2usize..8,
-        seed in 0u64..400,
-        dwell in 80u64..1500,
-        msgs in 3usize..15,
-    ) {
+/// The exactly-once extension holds its three guarantees — no miss, no
+/// duplicate, one global total order — under arbitrary churn schedules.
+#[test]
+fn prop_exactly_once_invariants() {
+    for_cases("exactly_once_invariants", 16, |r| {
+        let m = r.between(3, 7) as usize;
+        let g = r.between(2, 7) as usize;
+        let seed = r.below(400);
+        let dwell = r.between(80, 1499);
+        let msgs = r.between(3, 14) as usize;
         let members: Vec<MhId> = (0..g as u32).map(MhId).collect();
         let cfg = NetworkConfig::new(m, g)
             .with_seed(seed)
@@ -212,33 +235,42 @@ proptest! {
         );
         // Run past the last send, then give stragglers time to land.
         sim.run_until(SimTime::from_ticks(60 * msgs as u64 + 50_000));
-        let r = sim.protocol().report();
-        prop_assert_eq!(r.sent, msgs as u64);
-        prop_assert_eq!(r.missed, 0, "{:?}", r);
-        prop_assert_eq!(r.duplicates, 0, "{:?}", r);
-        prop_assert!(sim.protocol().total_order_consistent());
-    }
+        let rep = sim.protocol().report();
+        assert_eq!(rep.sent, msgs as u64);
+        assert_eq!(rep.missed, 0, "{rep:?}");
+        assert_eq!(rep.duplicates, 0, "{rep:?}");
+        assert!(sim.protocol().total_order_consistent());
+    });
+}
 
-    /// The adaptive proxy policy serves every interaction for any radius.
-    #[test]
-    fn prop_adaptive_proxy_serves_all(
-        m in 3usize..8,
-        n in 2usize..6,
-        seed in 0u64..400,
-        radius in 0u32..4,
-    ) {
+/// The adaptive proxy policy serves every interaction for any radius.
+#[test]
+fn prop_adaptive_proxy_serves_all() {
+    for_cases("adaptive_proxy_serves_all", 16, |r| {
+        let m = r.between(3, 7) as usize;
+        let n = r.between(2, 5) as usize;
+        let seed = r.below(400);
+        let radius = r.below(4) as u32;
         let clients: Vec<MhId> = (0..n as u32).map(MhId).collect();
         let cfg = NetworkConfig::new(m, n)
             .with_seed(seed)
             .with_mobility(MobilityConfig::moving(400));
-        let wl = ProxyWorkload { inputs_per_client: 2, mean_interval: 150 };
+        let wl = ProxyWorkload {
+            inputs_per_client: 2,
+            mean_interval: 150,
+        };
         let mut sim = Simulation::new(
             cfg,
-            ProxyRuntime::new(EchoService::new(), clients, ProxyPolicy::Adaptive { radius }, wl),
+            ProxyRuntime::new(
+                EchoService::new(),
+                clients,
+                ProxyPolicy::Adaptive { radius },
+                wl,
+            ),
         );
         sim.run_until(SimTime::from_ticks(2_000_000));
-        let r = sim.protocol().report();
-        prop_assert_eq!(r.inputs_sent, 2 * n as u64);
-        prop_assert_eq!(r.outputs_delivered, r.inputs_sent, "{:?}", r);
-    }
+        let rep = sim.protocol().report();
+        assert_eq!(rep.inputs_sent, 2 * n as u64);
+        assert_eq!(rep.outputs_delivered, rep.inputs_sent, "{rep:?}");
+    });
 }

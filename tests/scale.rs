@@ -51,7 +51,8 @@ fn l1_at_scale_shows_its_quadratic_message_bill() {
     let expected_msgs = 3 * (n as u64 - 1) * n as u64; // 10 620
     assert_eq!(sim.ledger().wireless_msgs, 2 * expected_msgs);
     assert_eq!(
-        sim.ledger().searches, expected_msgs,
+        sim.ledger().searches,
+        expected_msgs,
         "every single message needed a search"
     );
 }
