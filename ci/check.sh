@@ -24,4 +24,15 @@ fi
 echo "==> cargo test"
 cargo test --workspace -q
 
+if [[ $fast -eq 0 ]]; then
+  # Scheduler-equivalence and determinism gates in release mode: the timing
+  # wheel must replay the reference heap's order, and sweeps must render
+  # byte-identical tables at any worker count — with optimizations on, since
+  # that's how experiment tables are produced.
+  echo "==> release determinism gates"
+  cargo test --release -q -p mobidist-net --test wheel_equivalence
+  cargo test --release -q -p mobidist-bench --test determinism
+  cargo test --release -q -p mobidist-bench --test sim_reuse
+fi
+
 echo "==> OK"

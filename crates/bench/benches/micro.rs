@@ -11,7 +11,7 @@
 use mobidist_core::prelude::*;
 use mobidist_group::prelude::*;
 use mobidist_net::channel::ChainKey;
-use mobidist_net::event::EventQueue;
+use mobidist_net::event::{EventHeap, EventQueue};
 use mobidist_net::hash::FxHasher;
 use mobidist_net::prelude::*;
 use std::collections::hash_map::DefaultHasher;
@@ -149,6 +149,90 @@ fn event_queue_churn() {
     }
 }
 
+/// The two scheduler implementations behind one face, so each distribution
+/// below runs the identical driver against both.
+trait Sched {
+    fn push(&mut self, t: u64, v: u64);
+    fn pop(&mut self) -> Option<(u64, u64)>;
+}
+
+impl Sched for EventQueue<u64> {
+    fn push(&mut self, t: u64, v: u64) {
+        EventQueue::push(self, SimTime::from_ticks(t), v);
+    }
+    fn pop(&mut self) -> Option<(u64, u64)> {
+        EventQueue::pop(self).map(|(t, v)| (t.ticks(), v))
+    }
+}
+
+impl Sched for EventHeap<u64> {
+    fn push(&mut self, t: u64, v: u64) {
+        EventHeap::push(self, SimTime::from_ticks(t), v);
+    }
+    fn pop(&mut self) -> Option<(u64, u64)> {
+        EventHeap::pop(self).map(|(t, v)| (t.ticks(), v))
+    }
+}
+
+/// Steady-state churn under a delay distribution: fill to `pending`, then
+/// push+pop `pending` more times, then drain. `delay(rng, now)` yields the
+/// next event time, always `>= now` (the kernel's contract).
+fn churn<Q: Sched>(q: &mut Q, pending: usize, mut delay: impl FnMut(&mut u64, u64) -> u64) {
+    let mut x = 0x243F_6A88_85A3_08D3u64;
+    for i in 0..pending {
+        let t = delay(&mut x, 0);
+        q.push(t, i as u64);
+    }
+    for i in 0..pending {
+        let (now, _) = q.pop().expect("queue non-empty");
+        let t2 = delay(&mut x, now);
+        q.push(t2, i as u64);
+    }
+    while let Some(e) = q.pop() {
+        black_box(e);
+    }
+}
+
+fn xorshift(x: &mut u64) -> u64 {
+    *x ^= *x << 13;
+    *x ^= *x >> 7;
+    *x ^= *x << 17;
+    *x
+}
+
+/// Timing wheel vs the reference 4-ary heap on the three delay shapes that
+/// stress different scheduler paths: uniform near-future (hot level-0 slots),
+/// bimodal near/far (cascades + overflow drains), and same-tick bursts
+/// (FIFO ties — the heap sifts every duplicate, the wheel appends).
+fn wheel_vs_heap() {
+    type Dist = fn(&mut u64, u64) -> u64;
+    let uniform: Dist = |x, now| now + xorshift(x) % 1_000;
+    let bimodal: Dist = |x, now| {
+        if xorshift(x).is_multiple_of(4) {
+            now + (1 << 25) + xorshift(x) % (1 << 20) // beyond the wheel horizon
+        } else {
+            now + xorshift(x) % 256
+        }
+    };
+    let burst: Dist = |x, now| now + (xorshift(x) % 4) * 64; // few distinct ticks
+    let dists: [(&str, Dist); 3] = [
+        ("uniform", uniform),
+        ("bimodal_near_far", bimodal),
+        ("same_tick_burst", burst),
+    ];
+    let pending = 10_000usize;
+    for (dname, delay) in dists {
+        bench(&format!("sched/wheel/{dname}/{pending}"), || {
+            let mut q: EventQueue<u64> = EventQueue::new();
+            churn(&mut q, pending, delay);
+        });
+        bench(&format!("sched/heap4/{dname}/{pending}"), || {
+            let mut q: EventHeap<u64> = EventHeap::new();
+            churn(&mut q, pending, delay);
+        });
+    }
+}
+
 /// Hashes the same batch of `ChainKey`s with the in-repo FxHasher and the
 /// standard library SipHash — the lookup-path cost the channel maps pay.
 fn chain_key_hashing() {
@@ -191,5 +275,6 @@ fn main() {
     mutex_executions();
     group_messaging();
     event_queue_churn();
+    wheel_vs_heap();
     chain_key_hashing();
 }

@@ -1,6 +1,6 @@
 //! Experiments E5–E6: group location management (Section 4).
 
-use crate::parallel::{default_jobs, map_indexed};
+use crate::parallel::{default_jobs, map_indexed_with};
 use crate::table::{f2, pct, Table};
 use mobidist_cost as formulas;
 use mobidist_cost::Params;
@@ -37,6 +37,80 @@ impl GroupRun {
     }
 }
 
+/// Per-worker simulation pools, one per strategy type, recycled across the
+/// points a sweep worker processes.
+#[derive(Debug, Default)]
+pub struct StrategyPools {
+    /// Pure-search simulations.
+    pub ps: SimPool<GroupHarness<PureSearch>>,
+    /// Always-inform simulations.
+    pub ai: SimPool<GroupHarness<AlwaysInform>>,
+    /// Location-view simulations.
+    pub lv: SimPool<GroupHarness<LocationView>>,
+    /// Exactly-once simulations (E11).
+    pub eo: SimPool<GroupHarness<ExactlyOnce>>,
+}
+
+impl StrategyPools {
+    /// Creates empty pools.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+fn finish_group<S: LocationStrategy>(
+    sim: &mut Simulation<GroupHarness<S>>,
+    horizon: u64,
+    lv: impl FnOnce(&GroupHarness<S>) -> Option<(usize, f64)>,
+) -> GroupRun {
+    sim.run_until(SimTime::from_ticks(horizon));
+    GroupRun {
+        report: sim.protocol().report(),
+        ledger: sim.ledger().clone(),
+        lv: lv(sim.protocol()),
+    }
+}
+
+/// Runs one strategy under the given network/workload, recycling pooled
+/// simulations.
+pub fn run_strategy_in(
+    pools: &mut StrategyPools,
+    cfg: NetworkConfig,
+    which: &str,
+    members: Vec<MhId>,
+    wl: GroupWorkload,
+    horizon: u64,
+) -> GroupRun {
+    match which {
+        "pure-search" => pools.ps.run(
+            cfg,
+            GroupHarness::new(PureSearch::new(members), wl),
+            |sim| finish_group(sim, horizon, |_| None),
+        ),
+        "always-inform" => pools.ai.run(
+            cfg,
+            GroupHarness::new(AlwaysInform::new(members), wl),
+            |sim| finish_group(sim, horizon, |_| None),
+        ),
+        "location-view" => pools.lv.run(
+            cfg,
+            GroupHarness::new(LocationView::new(members, MssId(0)), wl),
+            |sim| {
+                finish_group(sim, horizon, |p| {
+                    let s = p.strategy();
+                    Some((s.max_view_size(), s.significant_fraction()))
+                })
+            },
+        ),
+        "exactly-once" => pools.eo.run(
+            cfg,
+            GroupHarness::new(ExactlyOnce::new(members, MssId(0)), wl),
+            |sim| finish_group(sim, horizon, |_| None),
+        ),
+        other => panic!("unknown strategy {other}"),
+    }
+}
+
 /// Runs one strategy under the given network/workload.
 pub fn run_strategy(
     cfg: NetworkConfig,
@@ -45,41 +119,7 @@ pub fn run_strategy(
     wl: GroupWorkload,
     horizon: u64,
 ) -> GroupRun {
-    match which {
-        "pure-search" => {
-            let mut sim = Simulation::new(cfg, GroupHarness::new(PureSearch::new(members), wl));
-            sim.run_until(SimTime::from_ticks(horizon));
-            GroupRun {
-                report: sim.protocol().report(),
-                ledger: sim.ledger().clone(),
-                lv: None,
-            }
-        }
-        "always-inform" => {
-            let mut sim = Simulation::new(cfg, GroupHarness::new(AlwaysInform::new(members), wl));
-            sim.run_until(SimTime::from_ticks(horizon));
-            GroupRun {
-                report: sim.protocol().report(),
-                ledger: sim.ledger().clone(),
-                lv: None,
-            }
-        }
-        "location-view" => {
-            let mut sim = Simulation::new(
-                cfg,
-                GroupHarness::new(LocationView::new(members, MssId(0)), wl),
-            );
-            sim.run_until(SimTime::from_ticks(horizon));
-            let s = sim.protocol().strategy();
-            let lv = Some((s.max_view_size(), s.significant_fraction()));
-            GroupRun {
-                report: sim.protocol().report(),
-                ledger: sim.ledger().clone(),
-                lv,
-            }
-        }
-        other => panic!("unknown strategy {other}"),
-    }
+    run_strategy_in(&mut StrategyPools::new(), cfg, which, members, wl, horizon)
 }
 
 /// **E5** — effective cost per group message vs the mobility-to-message
@@ -116,25 +156,30 @@ pub fn e5_group_strategies(quick: bool) -> Table {
         .iter()
         .flat_map(|&d| STRATEGIES.map(|s| (d, s)))
         .collect();
-    let runs = map_indexed(tasks, default_jobs(), |_, (dwell, which)| {
-        let mut cfg = NetworkConfig::new(m, g)
-            .with_seed(50)
-            .with_placement(Placement::Clustered { cells: 3 });
-        if let Some(d) = dwell {
-            cfg = cfg.with_mobility(MobilityConfig {
-                enabled: true,
-                mean_dwell: d,
-                mean_gap: 10,
-                pattern: MovePattern::Locality {
-                    p_local: 0.7,
-                    home_span: 3,
-                },
-            });
-        }
-        let horizon = (msgs as u64) * interval * 4;
-        let wl = GroupWorkload::new(members.clone(), msgs, interval);
-        run_strategy(cfg, which, members.clone(), wl, horizon)
-    });
+    let runs = map_indexed_with(
+        tasks,
+        default_jobs(),
+        StrategyPools::new,
+        |pools, _, (dwell, which)| {
+            let mut cfg = NetworkConfig::new(m, g)
+                .with_seed(50)
+                .with_placement(Placement::Clustered { cells: 3 });
+            if let Some(d) = dwell {
+                cfg = cfg.with_mobility(MobilityConfig {
+                    enabled: true,
+                    mean_dwell: d,
+                    mean_gap: 10,
+                    pattern: MovePattern::Locality {
+                        p_local: 0.7,
+                        home_span: 3,
+                    },
+                });
+            }
+            let horizon = (msgs as u64) * interval * 4;
+            let wl = GroupWorkload::new(members.clone(), msgs, interval);
+            run_strategy_in(pools, cfg, which, members.clone(), wl, horizon)
+        },
+    );
     for (i, _dwell) in dwells.iter().enumerate() {
         let p = params(CostModel::default());
         let (ps, ai, lv) = (&runs[3 * i], &runs[3 * i + 1], &runs[3 * i + 2]);
@@ -188,6 +233,7 @@ pub fn e6_locality(quick: bool) -> Table {
     } else {
         &[0.0, 0.5, 0.8, 0.95]
     };
+    let mut pools = StrategyPools::new();
     for &p_local in ps {
         let cfg = NetworkConfig::new(m, g)
             .with_seed(60)
@@ -203,7 +249,14 @@ pub fn e6_locality(quick: bool) -> Table {
             });
         let msgs = if quick { 8 } else { 25 };
         let wl = GroupWorkload::new(members.clone(), msgs, 300);
-        let run = run_strategy(cfg, "location-view", members.clone(), wl, 1_000_000);
+        let run = run_strategy_in(
+            &mut pools,
+            cfg,
+            "location-view",
+            members.clone(),
+            wl,
+            1_000_000,
+        );
         let (lv_max, f) = run.lv.expect("LV stats");
         t.push(vec![
             f2(p_local),
@@ -266,37 +319,29 @@ pub fn e11_exactly_once(quick: bool) -> Table {
             }
         }
     }
-    let samples = map_indexed(tasks, default_jobs(), |_, (dwell, which, seed)| {
-        let cfg = NetworkConfig::new(m, g)
-            .with_seed(seed)
-            .with_mobility(MobilityConfig {
-                enabled: true,
-                mean_dwell: dwell,
-                mean_gap: 40,
-                ..MobilityConfig::default()
-            });
-        let wl = GroupWorkload::new(members.clone(), msgs, 60);
-        let horizon = 60 * msgs as u64 + 20_000;
-        let run = if which == "exactly-once" {
-            let mut sim = Simulation::new(
-                cfg,
-                GroupHarness::new(ExactlyOnce::new(members.clone(), MssId(0)), wl),
-            );
-            sim.run_until(SimTime::from_ticks(horizon));
-            GroupRun {
-                report: sim.protocol().report(),
-                ledger: sim.ledger().clone(),
-                lv: None,
-            }
-        } else {
-            run_strategy(cfg, which, members.clone(), wl, horizon)
-        };
-        (
-            run.report.delivery_ratio(),
-            run.report.missed as f64,
-            run.cost_per_message(),
-        )
-    });
+    let samples = map_indexed_with(
+        tasks,
+        default_jobs(),
+        StrategyPools::new,
+        |pools, _, (dwell, which, seed)| {
+            let cfg = NetworkConfig::new(m, g)
+                .with_seed(seed)
+                .with_mobility(MobilityConfig {
+                    enabled: true,
+                    mean_dwell: dwell,
+                    mean_gap: 40,
+                    ..MobilityConfig::default()
+                });
+            let wl = GroupWorkload::new(members.clone(), msgs, 60);
+            let horizon = 60 * msgs as u64 + 20_000;
+            let run = run_strategy_in(pools, cfg, which, members.clone(), wl, horizon);
+            (
+                run.report.delivery_ratio(),
+                run.report.missed as f64,
+                run.cost_per_message(),
+            )
+        },
+    );
     let mut rows = samples.chunks_exact(seeds.len());
     for &dwell in dwells {
         for which in STRATEGIES {

@@ -1,0 +1,118 @@
+//! `Simulation::reset` / `SimPool` reuse is invisible to results.
+//!
+//! The sweep engine recycles simulations across `(config, seed)` points to
+//! keep allocations warm. That is only sound if a recycled simulation —
+//! whatever it ran before, at whatever topology — replays *byte-identical*
+//! traces and cost tables to a freshly built one. These tests pin that.
+
+use mobidist_bench::exp_group::{run_strategy, run_strategy_in, StrategyPools};
+use mobidist_core::prelude::*;
+use mobidist_group::prelude::*;
+use mobidist_net::prelude::*;
+use mobidist_net::time::SimTime;
+
+/// A mobility-heavy mutex workload: trace entries + final ledger.
+fn mutex_outcome(sim: &mut Simulation<MutexHarness<L2>>) -> (Vec<(SimTime, String)>, CostLedger) {
+    sim.kernel_mut().trace_mut().enable();
+    sim.run_until(SimTime::from_ticks(200_000));
+    let entries = sim.kernel().trace().entries().cloned().collect();
+    (entries, sim.ledger().clone())
+}
+
+fn mutex_cfg(seed: u64) -> NetworkConfig {
+    NetworkConfig::new(4, 12)
+        .with_seed(seed)
+        .with_mobility(MobilityConfig::moving(300))
+}
+
+fn mutex_proto() -> MutexHarness<L2> {
+    MutexHarness::new(L2::new(4), WorkloadConfig::all_mhs(12, 2))
+}
+
+#[test]
+fn recycled_simulation_replays_byte_identically() {
+    // Fresh reference run.
+    let mut fresh = Simulation::new(mutex_cfg(21), mutex_proto());
+    let (trace_fresh, ledger_fresh) = mutex_outcome(&mut fresh);
+    assert!(!trace_fresh.is_empty(), "workload must exercise the trace");
+
+    // Pool that has already run a *different* shape — larger topology,
+    // different seed, tracing on — so the recycled simulation arrives dirty
+    // in every dimension reset must clean.
+    let mut pool: SimPool<MutexHarness<L2>> = SimPool::new();
+    pool.run(
+        NetworkConfig::new(8, 40)
+            .with_seed(7)
+            .with_mobility(MobilityConfig::moving(150)),
+        MutexHarness::new(L2::new(8), WorkloadConfig::all_mhs(40, 1)),
+        |sim| {
+            sim.kernel_mut().trace_mut().enable();
+            sim.run_until(SimTime::from_ticks(100_000));
+        },
+    );
+    assert_eq!(pool.idle(), 1);
+
+    let (trace_reused, ledger_reused) = pool.run(mutex_cfg(21), mutex_proto(), mutex_outcome);
+    assert_eq!(pool.idle(), 1, "the same simulation served both points");
+
+    assert_eq!(trace_fresh.len(), trace_reused.len());
+    for (i, (a, b)) in trace_fresh.iter().zip(&trace_reused).enumerate() {
+        assert_eq!(a, b, "trace diverged at entry {i}");
+    }
+    assert_eq!(ledger_fresh, ledger_reused, "ledgers must match exactly");
+}
+
+#[test]
+fn reset_clears_trace_enable_state() {
+    // Tracing was on before recycling; a reset simulation must come back
+    // with tracing off and no stale entries.
+    let mut sim = Simulation::new(mutex_cfg(3), mutex_proto());
+    sim.kernel_mut().trace_mut().enable();
+    sim.run_until(SimTime::from_ticks(50_000));
+    assert!(sim.kernel().trace().entries().next().is_some());
+
+    sim.reset(mutex_cfg(3), mutex_proto());
+    assert!(!sim.kernel().trace().is_enabled());
+    assert!(sim.kernel().trace().entries().next().is_none());
+    assert_eq!(sim.now(), SimTime::ZERO);
+}
+
+#[test]
+fn pooled_group_strategies_match_fresh_runs() {
+    // The experiment-facing surface: `run_strategy_in` with a pool that is
+    // reused across strategies and dwell times must render the same cost
+    // tables as throwaway simulations.
+    let g = 6;
+    let members: Vec<MhId> = (0..g as u32).map(MhId).collect();
+    let mk_cfg = || {
+        NetworkConfig::new(4, g)
+            .with_seed(50)
+            .with_mobility(MobilityConfig::moving(400))
+    };
+    let mut pools = StrategyPools::new();
+    for which in [
+        "pure-search",
+        "always-inform",
+        "location-view",
+        "exactly-once",
+    ] {
+        let wl = || GroupWorkload::new(members.clone(), 6, 300);
+        // Two pooled passes: the second recycles the first's simulation.
+        let first = run_strategy_in(&mut pools, mk_cfg(), which, members.clone(), wl(), 40_000);
+        let second = run_strategy_in(&mut pools, mk_cfg(), which, members.clone(), wl(), 40_000);
+        let fresh = run_strategy(mk_cfg(), which, members.clone(), wl(), 40_000);
+        assert_eq!(
+            first.ledger, second.ledger,
+            "{which}: recycled pass diverged from its own first pass"
+        );
+        assert_eq!(
+            first.ledger, fresh.ledger,
+            "{which}: pooled != fresh ledger"
+        );
+        assert_eq!(
+            first.report.delivered, fresh.report.delivered,
+            "{which}: delivery count diverged"
+        );
+        assert_eq!(first.lv, fresh.lv, "{which}: LV stats diverged");
+    }
+}

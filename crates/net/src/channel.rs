@@ -31,6 +31,18 @@ pub enum ChainKey {
 /// Tracks the last scheduled delivery per directed channel and clamps new
 /// deliveries to preserve FIFO order.
 ///
+/// Storage is three flat arrays indexed by topology, not a hash map — the
+/// schedule/reset pair sits on the per-message hot path:
+///
+/// * `Fixed(a, b)` → `fixed[a * num_mss + b]` (every directed MSS pair);
+/// * `Down(_, mh)` → `down[mh]` and `Up(mh, _)` → `up[mh]`: at any instant
+///   an MH has at most one live wireless channel in each direction (to its
+///   serving cell), and the kernel resets both chains whenever the MH leaves
+///   or disconnects, so one slot per MH per direction is exact.
+///
+/// `SimTime::ZERO` is the "no history" sentinel; it never clamps, because no
+/// delivery can be scheduled before the epoch.
+///
 /// # Examples
 ///
 /// ```
@@ -38,46 +50,91 @@ pub enum ChainKey {
 /// use mobidist_net::ids::MssId;
 /// use mobidist_net::time::SimTime;
 ///
-/// let mut f = FifoChains::default();
+/// let mut f = FifoChains::new(2, 2);
 /// let k = ChainKey::Fixed(MssId(0), MssId(1));
 /// let t1 = f.schedule(k, SimTime::from_ticks(10));
 /// let t2 = f.schedule(k, SimTime::from_ticks(5)); // would overtake: clamped
 /// assert!(t2 >= t1);
 /// ```
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone)]
 pub struct FifoChains {
-    // Keyed lookups only — never iterated, so the deterministic fast hasher
-    // cannot influence event ordering.
-    last: FxHashMap<ChainKey, SimTime>,
+    num_mss: usize,
+    fixed: Vec<SimTime>,
+    down: Vec<SimTime>,
+    up: Vec<SimTime>,
+    /// Channels currently holding a (nonzero) recorded delivery time.
+    recorded: usize,
 }
 
 impl FifoChains {
+    /// Creates chains for a topology of `num_mss` stations and `num_mh`
+    /// hosts, all without history.
+    pub fn new(num_mss: usize, num_mh: usize) -> Self {
+        let mut f = FifoChains {
+            num_mss: 0,
+            fixed: Vec::new(),
+            down: Vec::new(),
+            up: Vec::new(),
+            recorded: 0,
+        };
+        f.reset_topology(num_mss, num_mh);
+        f
+    }
+
+    /// Clears all history and re-sizes for a (possibly different) topology,
+    /// retaining the allocations when they already fit.
+    pub fn reset_topology(&mut self, num_mss: usize, num_mh: usize) {
+        self.num_mss = num_mss;
+        self.fixed.clear();
+        self.fixed.resize(num_mss * num_mss, SimTime::ZERO);
+        self.down.clear();
+        self.down.resize(num_mh, SimTime::ZERO);
+        self.up.clear();
+        self.up.resize(num_mh, SimTime::ZERO);
+        self.recorded = 0;
+    }
+
+    #[inline]
+    fn slot_mut(&mut self, key: ChainKey) -> &mut SimTime {
+        match key {
+            ChainKey::Fixed(a, b) => &mut self.fixed[a.index() * self.num_mss + b.index()],
+            ChainKey::Down(_, mh) => &mut self.down[mh.index()],
+            ChainKey::Up(mh, _) => &mut self.up[mh.index()],
+        }
+    }
+
     /// Returns the actual delivery time for a message that would naively
     /// arrive at `earliest`, clamping so it cannot overtake the previous
     /// message on the same channel, and records it.
     pub fn schedule(&mut self, key: ChainKey, earliest: SimTime) -> SimTime {
-        let t = match self.last.get(&key) {
-            Some(prev) if *prev > earliest => *prev,
-            _ => earliest,
-        };
-        self.last.insert(key, t);
+        let slot = self.slot_mut(key);
+        let prev = *slot;
+        let t = if prev > earliest { prev } else { earliest };
+        *slot = t;
+        if prev == SimTime::ZERO && t > SimTime::ZERO {
+            self.recorded += 1;
+        }
         t
     }
 
     /// Forgets a channel's history (used when an MH leaves a cell: the
     /// wireless channel to the old cell ceases to exist).
     pub fn reset(&mut self, key: ChainKey) {
-        self.last.remove(&key);
+        let slot = self.slot_mut(key);
+        if *slot > SimTime::ZERO {
+            *slot = SimTime::ZERO;
+            self.recorded -= 1;
+        }
     }
 
     /// Number of channels with recorded history.
     pub fn len(&self) -> usize {
-        self.last.len()
+        self.recorded
     }
 
     /// True when no channel has history.
     pub fn is_empty(&self) -> bool {
-        self.last.is_empty()
+        self.recorded == 0
     }
 }
 
@@ -216,6 +273,15 @@ impl<M> ReorderBuffers<M> {
     pub fn peak_held(&self) -> usize {
         self.peak_held
     }
+
+    /// Forgets all sequencing state and statistics, retaining the map
+    /// allocations for reuse.
+    pub fn clear(&mut self) {
+        self.tx_seq.clear();
+        self.rx.clear();
+        self.peak_held = 0;
+        self.currently_held = 0;
+    }
 }
 
 #[cfg(test)]
@@ -224,7 +290,7 @@ mod tests {
 
     #[test]
     fn fifo_chain_clamps_overtaking() {
-        let mut f = FifoChains::default();
+        let mut f = FifoChains::new(2, 2);
         let k = ChainKey::Fixed(MssId(0), MssId(1));
         assert_eq!(f.schedule(k, SimTime::from_ticks(10)).ticks(), 10);
         assert_eq!(f.schedule(k, SimTime::from_ticks(4)).ticks(), 10);
@@ -233,7 +299,7 @@ mod tests {
 
     #[test]
     fn distinct_chains_do_not_interact() {
-        let mut f = FifoChains::default();
+        let mut f = FifoChains::new(2, 2);
         let ab = ChainKey::Fixed(MssId(0), MssId(1));
         let ba = ChainKey::Fixed(MssId(1), MssId(0));
         f.schedule(ab, SimTime::from_ticks(100));
@@ -244,11 +310,47 @@ mod tests {
 
     #[test]
     fn reset_forgets_history() {
-        let mut f = FifoChains::default();
+        let mut f = FifoChains::new(2, 2);
         let k = ChainKey::Down(MssId(0), MhId(1));
         f.schedule(k, SimTime::from_ticks(50));
         f.reset(k);
         assert_eq!(f.schedule(k, SimTime::from_ticks(2)).ticks(), 2);
+    }
+
+    #[test]
+    fn reset_topology_clears_history() {
+        let mut f = FifoChains::new(2, 2);
+        f.schedule(ChainKey::Up(MhId(1), MssId(0)), SimTime::from_ticks(9));
+        f.schedule(ChainKey::Fixed(MssId(1), MssId(0)), SimTime::from_ticks(9));
+        assert_eq!(f.len(), 2);
+        f.reset_topology(4, 8);
+        assert!(f.is_empty());
+        // Larger topology is addressable after the reset.
+        assert_eq!(
+            f.schedule(ChainKey::Fixed(MssId(3), MssId(2)), SimTime::from_ticks(1))
+                .ticks(),
+            1
+        );
+        assert_eq!(
+            f.schedule(ChainKey::Down(MssId(0), MhId(7)), SimTime::from_ticks(1))
+                .ticks(),
+            1
+        );
+    }
+
+    #[test]
+    fn reorder_clear_forgets_everything() {
+        let mut b: ReorderBuffers<u32> = ReorderBuffers::default();
+        let (a, z) = (MhId(0), MhId(1));
+        let s0 = b.next_seq(a, z);
+        let s1 = b.next_seq(a, z);
+        assert!(b.accept(a, z, s1, 1).is_empty());
+        b.clear();
+        assert_eq!(b.held(), 0);
+        assert_eq!(b.peak_held(), 0);
+        // Sequence numbers restart, as on a fresh buffer.
+        assert_eq!(b.next_seq(a, z), 0);
+        assert_eq!(b.accept(a, z, s0, 0), vec![0]);
     }
 
     #[test]

@@ -5,7 +5,7 @@
 //! so that a later search can be answered with the disconnected status.
 
 use crate::ids::{MhId, MssId};
-use std::collections::{BTreeSet, VecDeque};
+use std::collections::VecDeque;
 
 /// An uplink message buffered while its sender is between cells.
 #[derive(Debug, Clone)]
@@ -86,6 +86,130 @@ impl<M> MhState<M> {
     pub fn is_connected(&self) -> bool {
         self.status == MhStatus::Connected
     }
+
+    /// Restores freshly-connected state in `cell` (as [`MhState::new`]),
+    /// retaining the outbox allocation for reuse.
+    pub fn reset(&mut self, cell: MssId, home: MssId) {
+        self.cell = Some(cell);
+        self.status = MhStatus::Connected;
+        self.dozing = false;
+        self.epoch = 0;
+        self.prev_cell = None;
+        self.home = home;
+        self.disconnected_at = None;
+        self.outbox.clear();
+        self.down_received = 0;
+        self.down_sent = 0;
+    }
+}
+
+/// A set of MH ids, stored as a bitmap.
+///
+/// MH ids are small dense integers, so membership tests and the
+/// every-broadcast iteration the kernel performs are word operations instead
+/// of `BTreeSet` pointer chases. Iteration order is ascending id — the same
+/// deterministic order the tree set gave, so event ordering is unaffected.
+#[derive(Debug, Clone, Default)]
+pub struct HostSet {
+    words: Vec<u64>,
+    len: usize,
+}
+
+impl HostSet {
+    /// Creates an empty set.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds `mh`; returns `true` when it was not already present.
+    pub fn insert(&mut self, mh: MhId) -> bool {
+        let (w, b) = (mh.index() / 64, mh.index() % 64);
+        if w >= self.words.len() {
+            self.words.resize(w + 1, 0);
+        }
+        let fresh = self.words[w] & (1u64 << b) == 0;
+        self.words[w] |= 1u64 << b;
+        self.len += fresh as usize;
+        fresh
+    }
+
+    /// Removes `mh`; returns `true` when it was present.
+    pub fn remove(&mut self, mh: &MhId) -> bool {
+        let (w, b) = (mh.index() / 64, mh.index() % 64);
+        match self.words.get_mut(w) {
+            Some(word) if *word & (1u64 << b) != 0 => {
+                *word &= !(1u64 << b);
+                self.len -= 1;
+                true
+            }
+            _ => false,
+        }
+    }
+
+    /// True when `mh` is a member.
+    pub fn contains(&self, mh: &MhId) -> bool {
+        self.words
+            .get(mh.index() / 64)
+            .is_some_and(|w| w & (1u64 << (mh.index() % 64)) != 0)
+    }
+
+    /// Number of members.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when no MH is a member.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Removes all members, retaining the bitmap allocation.
+    pub fn clear(&mut self) {
+        self.words.clear();
+        self.len = 0;
+    }
+
+    /// Iterates members in ascending id order.
+    pub fn iter(&self) -> HostSetIter<'_> {
+        HostSetIter {
+            words: &self.words,
+            word_idx: 0,
+            bits: self.words.first().copied().unwrap_or(0),
+        }
+    }
+}
+
+impl<'a> IntoIterator for &'a HostSet {
+    type Item = MhId;
+    type IntoIter = HostSetIter<'a>;
+    fn into_iter(self) -> HostSetIter<'a> {
+        self.iter()
+    }
+}
+
+/// Ascending-id iterator over a [`HostSet`].
+#[derive(Debug)]
+pub struct HostSetIter<'a> {
+    words: &'a [u64],
+    word_idx: usize,
+    bits: u64,
+}
+
+impl Iterator for HostSetIter<'_> {
+    type Item = MhId;
+
+    fn next(&mut self) -> Option<MhId> {
+        while self.bits == 0 {
+            self.word_idx += 1;
+            if self.word_idx >= self.words.len() {
+                return None;
+            }
+            self.bits = self.words[self.word_idx];
+        }
+        let b = self.bits.trailing_zeros();
+        self.bits &= self.bits - 1;
+        Some(MhId((self.word_idx * 64) as u32 + b))
+    }
 }
 
 /// Per-MSS kernel state.
@@ -93,15 +217,21 @@ impl<M> MhState<M> {
 pub struct MssState {
     /// MHs that have identified themselves with this MSS (the paper's list
     /// of local MH ids).
-    pub local: BTreeSet<MhId>,
+    pub local: HostSet,
     /// MHs whose "disconnected" flag is set at this MSS.
-    pub disconnected_here: BTreeSet<MhId>,
+    pub disconnected_here: HostSet,
 }
 
 impl MssState {
     /// True when `mh` is local to this cell.
     pub fn has_local(&self, mh: MhId) -> bool {
         self.local.contains(&mh)
+    }
+
+    /// Empties both sets, retaining allocations.
+    pub fn clear(&mut self) {
+        self.local.clear();
+        self.disconnected_here.clear();
     }
 }
 
@@ -125,6 +255,47 @@ mod tests {
         assert!(!h.is_connected());
         h.status = MhStatus::Disconnected;
         assert!(!h.is_connected());
+    }
+
+    #[test]
+    fn reset_matches_new() {
+        let mut h: MhState<u32> = MhState::new(MssId(0), MssId(0));
+        h.status = MhStatus::BetweenCells;
+        h.dozing = true;
+        h.epoch = 9;
+        h.outbox.push_back(OutMsg::Plain(1));
+        h.down_received = 3;
+        h.reset(MssId(2), MssId(2));
+        assert!(h.is_connected());
+        assert_eq!(h.cell, Some(MssId(2)));
+        assert_eq!(h.epoch, 0);
+        assert!(!h.dozing);
+        assert!(h.outbox.is_empty());
+        assert_eq!(h.down_received, 0);
+    }
+
+    #[test]
+    fn host_set_basics() {
+        let mut s = HostSet::new();
+        assert!(s.is_empty());
+        assert!(s.insert(MhId(3)));
+        assert!(s.insert(MhId(130)));
+        assert!(s.insert(MhId(0)));
+        assert!(!s.insert(MhId(3)));
+        assert_eq!(s.len(), 3);
+        assert!(s.contains(&MhId(130)));
+        assert!(!s.contains(&MhId(131)));
+        assert_eq!(
+            s.iter().collect::<Vec<_>>(),
+            vec![MhId(0), MhId(3), MhId(130)]
+        );
+        assert!(s.remove(&MhId(3)));
+        assert!(!s.remove(&MhId(3)));
+        assert!(!s.remove(&MhId(999)));
+        assert_eq!(s.iter().collect::<Vec<_>>(), vec![MhId(0), MhId(130)]);
+        s.clear();
+        assert!(s.is_empty());
+        assert_eq!(s.iter().next(), None);
     }
 
     #[test]

@@ -145,57 +145,85 @@ impl<M: Debug + 'static, T: Debug + 'static> Kernel<M, T> {
     /// Builds a kernel: places MHs into cells and primes the autonomous
     /// mobility/disconnection processes.
     pub fn new(cfg: NetworkConfig) -> Self {
-        let mut rng = SimRng::seed_from(cfg.seed);
-        let proto_rng = rng.fork(0xA11C);
-        let mut place_rng = rng.fork(0xB0B1);
+        let mut k = Kernel {
+            cfg: cfg.clone(),
+            now: SimTime::ZERO,
+            queue: EventQueue::new(),
+            rng: SimRng::seed_from(cfg.seed),
+            proto_rng: SimRng::seed_from(cfg.seed),
+            msss: Vec::new(),
+            mhs: Vec::new(),
+            fifo: FifoChains::new(cfg.num_mss, cfg.num_mh),
+            reorder: ReorderBuffers::default(),
+            ledger: CostLedger::new(cfg.num_mh),
+            pending: VecDeque::new(),
+            trace: Trace::default(),
+            scratch_locals: Vec::new(),
+        };
+        k.reset(cfg);
+        k
+    }
+
+    /// Rewinds the kernel to the fresh-`new(cfg)` state while retaining
+    /// every allocation (event-wheel slots, FIFO chain arrays, reorder maps,
+    /// per-MH outboxes, ledger vectors, trace ring, scratch buffers).
+    ///
+    /// Observable behaviour is bit-identical to a freshly built kernel: the
+    /// RNG streams are reseeded and forked in the same order, MH placement
+    /// draws the same values, and the event queue's insertion-sequence
+    /// counter restarts at zero, so a reused kernel replays the exact event
+    /// order of a fresh one. `tests/determinism` and the bench crate's
+    /// sim-reuse test pin this.
+    pub(crate) fn reset(&mut self, cfg: NetworkConfig) {
+        // Same RNG derivation order as the original construction path:
+        // seed, fork the protocol stream, fork the placement stream, then
+        // draw mobility/disconnect delays from the root stream.
+        self.rng = SimRng::seed_from(cfg.seed);
+        self.proto_rng = self.rng.fork(0xA11C);
+        let mut place_rng = self.rng.fork(0xB0B1);
         let m = cfg.num_mss;
-        let mut mhs = Vec::with_capacity(cfg.num_mh);
-        for i in 0..cfg.num_mh {
+        let n = cfg.num_mh;
+        self.now = SimTime::ZERO;
+        self.queue.clear();
+        self.msss.truncate(m);
+        for s in &mut self.msss {
+            s.clear();
+        }
+        self.msss.resize_with(m, MssState::default);
+        self.mhs.truncate(n);
+        for i in 0..n {
             let cell = match cfg.placement {
                 Placement::RoundRobin => MssId((i % m) as u32),
                 Placement::Random => MssId(place_rng.below(m as u64) as u32),
                 Placement::Clustered { cells } => MssId((i % cells.clamp(1, m)) as u32),
             };
-            mhs.push(MhState::new(cell, cell));
+            if let Some(st) = self.mhs.get_mut(i) {
+                st.reset(cell, cell);
+            } else {
+                self.mhs.push(MhState::new(cell, cell));
+            }
+            self.msss[cell.index()].local.insert(MhId(i as u32));
         }
-        let num_mh = cfg.num_mh;
-        let mut k = Kernel {
-            cfg,
-            now: SimTime::ZERO,
-            // Steady state holds at least one mobility event plus a handful
-            // of in-flight messages per MH; pre-size so the working set
-            // never reallocates.
-            queue: EventQueue::with_capacity((4 * num_mh).max(64)),
-            rng,
-            proto_rng,
-            msss: vec![MssState::default(); m],
-            mhs,
-            fifo: FifoChains::default(),
-            reorder: ReorderBuffers::default(),
-            ledger: CostLedger::new(num_mh),
-            pending: VecDeque::new(),
-            trace: Trace::default(),
-            scratch_locals: Vec::new(),
-        };
-        for i in 0..k.mhs.len() {
-            let cell = k.mhs[i].cell.expect("fresh MH always has a cell");
-            k.msss[cell.index()].local.insert(MhId(i as u32));
-        }
-        if k.cfg.mobility.enabled {
-            for i in 0..k.cfg.num_mh {
-                let d = k.rng.exp_delay(k.cfg.mobility.mean_dwell);
-                k.queue
-                    .push(k.now + d, Ev::AutoLeave { mh: MhId(i as u32) });
+        self.fifo.reset_topology(m, n);
+        self.reorder.clear();
+        self.ledger.reset(n);
+        self.pending.clear();
+        self.trace.reset();
+        self.cfg = cfg;
+        if self.cfg.mobility.enabled {
+            for i in 0..n {
+                let d = self.rng.exp_delay(self.cfg.mobility.mean_dwell);
+                self.queue
+                    .push(self.now + d, Ev::AutoLeave { mh: MhId(i as u32) });
             }
         }
-        if k.cfg.disconnect.enabled {
-            for i in 0..k.cfg.num_mh {
-                let d = k.rng.exp_delay(k.cfg.disconnect.mean_uptime);
-                k.queue
-                    .push(k.now + d, Ev::AutoDisconnect { mh: MhId(i as u32) });
+        if self.cfg.disconnect.enabled {
+            for i in 0..n {
+                let d = self.rng.exp_delay(self.cfg.disconnect.mean_uptime);
+                self.queue
+                    .push(self.now + d, Ev::AutoDisconnect { mh: MhId(i as u32) });
             }
         }
-        k
     }
 
     /// Current simulated time.
@@ -246,7 +274,7 @@ impl<M: Debug + 'static, T: Debug + 'static> Kernel<M, T> {
 
     /// MHs currently local to `mss`.
     pub fn local_mhs(&self, mss: MssId) -> Vec<MhId> {
-        self.msss[mss.index()].local.iter().copied().collect()
+        self.msss[mss.index()].local.iter().collect()
     }
 
     /// Connectivity status of `mh`.
@@ -347,7 +375,7 @@ impl<M: Debug + 'static, T: Debug + 'static> Kernel<M, T> {
         // sorted (deterministic) and the Vec's capacity survives the call.
         let mut locals = std::mem::take(&mut self.scratch_locals);
         locals.clear();
-        locals.extend(self.msss[mss.index()].local.iter().copied());
+        locals.extend(self.msss[mss.index()].local.iter());
         if locals.is_empty() {
             self.scratch_locals = locals;
             return 0;

@@ -153,12 +153,67 @@ impl CostLedger {
 
     /// Adds `by` to a protocol-defined named counter.
     pub fn bump_by(&mut self, name: &str, by: u64) {
-        *self.custom.entry(name.to_owned()).or_insert(0) += by;
+        // get_mut-then-insert rather than `entry(name.to_owned())`: the hit
+        // path (every bump after the first) must not allocate a String.
+        if let Some(v) = self.custom.get_mut(name) {
+            *v += by;
+        } else {
+            self.custom.insert(name.to_owned(), by);
+        }
     }
 
     /// Reads a protocol-defined named counter (0 when never bumped).
     pub fn custom(&self, name: &str) -> u64 {
         self.custom.get(name).copied().unwrap_or(0)
+    }
+
+    /// Zeroes every counter for a population of `num_mh` hosts, retaining
+    /// the per-MH vector and custom-map allocations for reuse.
+    ///
+    /// Destructures `self` so adding a ledger field without updating this
+    /// reset is a compile error.
+    pub fn reset(&mut self, num_mh: usize) {
+        let CostLedger {
+            fixed_msgs,
+            wireless_msgs,
+            searches,
+            re_searches,
+            search_failures,
+            fixed_cost,
+            wireless_cost,
+            search_cost,
+            mh_tx,
+            mh_rx,
+            mh_energy,
+            doze_interruptions,
+            moves,
+            handoffs,
+            disconnects,
+            reconnects,
+            wireless_losses,
+            custom,
+        } = self;
+        *fixed_msgs = 0;
+        *wireless_msgs = 0;
+        *searches = 0;
+        *re_searches = 0;
+        *search_failures = 0;
+        *fixed_cost = 0;
+        *wireless_cost = 0;
+        *search_cost = 0;
+        mh_tx.clear();
+        mh_tx.resize(num_mh, 0);
+        mh_rx.clear();
+        mh_rx.resize(num_mh, 0);
+        mh_energy.clear();
+        mh_energy.resize(num_mh, 0);
+        *doze_interruptions = 0;
+        *moves = 0;
+        *handoffs = 0;
+        *disconnects = 0;
+        *reconnects = 0;
+        *wireless_losses = 0;
+        custom.clear();
     }
 
     /// Counter difference `self - earlier`, for measuring one phase of an
@@ -306,6 +361,19 @@ mod tests {
         l.bump_by("x", 4);
         assert_eq!(l.custom("x"), 5);
         assert_eq!(l.custom("y"), 0);
+    }
+
+    #[test]
+    fn reset_matches_new() {
+        let c = model();
+        let mut l = CostLedger::new(2);
+        l.charge_fixed(&c);
+        l.charge_wireless_tx(&c, MhId(1), 7);
+        l.bump("updates");
+        l.reset(3);
+        assert_eq!(l, CostLedger::new(3));
+        l.reset(1);
+        assert_eq!(l, CostLedger::new(1));
     }
 
     #[test]

@@ -81,6 +81,6 @@ pub mod prelude {
     pub use crate::proto::{Ctx, Protocol, Src};
     pub use crate::rng::SimRng;
     pub use crate::search::SearchPolicy;
-    pub use crate::sim::Simulation;
+    pub use crate::sim::{SimPool, Simulation};
     pub use crate::time::SimTime;
 }

@@ -57,6 +57,20 @@ impl<P: Protocol> Simulation<P> {
         }
     }
 
+    /// Rewinds this simulation to the state `Simulation::new(cfg, proto)`
+    /// would produce, recycling the kernel's allocations (event-wheel slots,
+    /// FIFO chains, reorder buffers, outboxes, ledger vectors) instead of
+    /// rebuilding them.
+    ///
+    /// A reset simulation replays byte-identical traces and cost tables for
+    /// the same `(cfg, proto)` — sweeps reuse simulations through
+    /// [`SimPool`] on the strength of this.
+    pub fn reset(&mut self, cfg: NetworkConfig, proto: P) {
+        self.kernel.reset(cfg);
+        self.proto = proto;
+        self.started = false;
+    }
+
     /// Current simulated time.
     pub fn now(&self) -> SimTime {
         self.kernel.now()
@@ -179,5 +193,90 @@ impl<P: Protocol> Simulation<P> {
                 }
             }
         }
+    }
+}
+
+/// A recycling pool of [`Simulation`]s for one protocol type.
+///
+/// Sweeps run thousands of short `(config, seed)` points; building each
+/// `Simulation` from scratch spends more time allocating (wheel slots, chain
+/// arrays, ledger vectors, reorder maps) than simulating. A pool hands each
+/// point a recycled simulation via [`Simulation::reset`], which clears state
+/// but keeps every allocation warm. Determinism is unaffected: a reset
+/// simulation replays byte-identical results (see `Simulation::reset`).
+///
+/// Pools are per-worker state — each sweep worker owns its own (see
+/// `map_indexed_with` in the bench crate), so no synchronisation is needed.
+///
+/// # Examples
+///
+/// ```
+/// use mobidist_net::prelude::*;
+///
+/// #[derive(Debug, Default)]
+/// struct Nop;
+/// impl Protocol for Nop {
+///     type Msg = ();
+///     type Timer = ();
+///     fn on_mss_msg(&mut self, _: &mut Ctx<'_, (), ()>, _: MssId, _: Src, _: ()) {}
+///     fn on_mh_msg(&mut self, _: &mut Ctx<'_, (), ()>, _: MhId, _: Src, _: ()) {}
+/// }
+///
+/// let mut pool: SimPool<Nop> = SimPool::new();
+/// for seed in 0..3 {
+///     let cfg = NetworkConfig::new(2, 4).with_seed(seed);
+///     let quiesced = pool.run(cfg, Nop, |sim| sim.run_to_quiescence(10_000));
+///     assert!(quiesced);
+/// }
+/// assert_eq!(pool.idle(), 1); // one simulation served all three points
+/// ```
+pub struct SimPool<P: Protocol> {
+    free: Vec<Simulation<P>>,
+}
+
+impl<P: Protocol> SimPool<P> {
+    /// Creates an empty pool.
+    pub fn new() -> Self {
+        SimPool { free: Vec::new() }
+    }
+
+    /// Number of idle simulations held for reuse.
+    pub fn idle(&self) -> usize {
+        self.free.len()
+    }
+
+    /// Runs `f` on a simulation initialised to `(cfg, proto)` — recycled
+    /// when one is idle, freshly built otherwise — and returns the
+    /// simulation to the pool afterwards.
+    pub fn run<R>(
+        &mut self,
+        cfg: NetworkConfig,
+        proto: P,
+        f: impl FnOnce(&mut Simulation<P>) -> R,
+    ) -> R {
+        let mut sim = match self.free.pop() {
+            Some(mut sim) => {
+                sim.reset(cfg, proto);
+                sim
+            }
+            None => Simulation::new(cfg, proto),
+        };
+        let out = f(&mut sim);
+        self.free.push(sim);
+        out
+    }
+}
+
+impl<P: Protocol> Default for SimPool<P> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<P: Protocol> std::fmt::Debug for SimPool<P> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SimPool")
+            .field("idle", &self.free.len())
+            .finish()
     }
 }

@@ -73,6 +73,13 @@ impl Trace {
     pub fn contains(&self, needle: &str) -> bool {
         self.entries.iter().any(|(_, m)| m.contains(needle))
     }
+
+    /// Drops all entries and disables recording (fresh-trace state),
+    /// retaining the ring-buffer allocation.
+    pub fn reset(&mut self) {
+        self.enabled = false;
+        self.entries.clear();
+    }
 }
 
 impl Default for Trace {

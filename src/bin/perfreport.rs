@@ -107,16 +107,27 @@ struct SweepRow {
 }
 
 fn time_ms(f: impl Fn()) -> f64 {
-    f(); // warm-up
-    let t0 = Instant::now();
+    // One warm-up, then the median of three timed runs (same protocol as
+    // `measure`, so sweep speedups aren't single-sample noise).
     f();
-    t0.elapsed().as_secs_f64() * 1e3
+    let mut walls: Vec<f64> = (0..3)
+        .map(|_| {
+            let t0 = Instant::now();
+            f();
+            t0.elapsed().as_secs_f64() * 1e3
+        })
+        .collect();
+    walls.sort_by(f64::total_cmp);
+    walls[1]
 }
 
 type SweepFn = fn(bool) -> mobidist_bench::Table;
 
 fn sweep_matrix() -> Vec<SweepRow> {
-    let jobs = mobidist_bench::parallel::default_jobs();
+    // The sequential leg pins MOBIDIST_JOBS=1; the parallel leg restores the
+    // caller's setting (or unsets it) and records the worker count in effect
+    // at that moment, so `jobs` in the report always matches `par_ms`.
+    let caller_jobs = std::env::var("MOBIDIST_JOBS").ok();
     let mut rows = Vec::new();
     let sweeps: [(&'static str, SweepFn); 3] = [
         ("e1_quick", exp_mutex::e1_lamport),
@@ -128,7 +139,11 @@ fn sweep_matrix() -> Vec<SweepRow> {
         let seq_ms = time_ms(|| {
             f(true);
         });
-        std::env::remove_var("MOBIDIST_JOBS");
+        match &caller_jobs {
+            Some(v) => std::env::set_var("MOBIDIST_JOBS", v),
+            None => std::env::remove_var("MOBIDIST_JOBS"),
+        }
+        let jobs = mobidist_bench::parallel::default_jobs();
         let par_ms = time_ms(|| {
             f(true);
         });
