@@ -1,6 +1,6 @@
 # Convenience targets; see ci/check.sh for the full gate.
 
-.PHONY: build test check bench perf quick
+.PHONY: build test check bench perf quick tracecheck
 
 build:
 	cargo build --workspace --release
@@ -22,3 +22,10 @@ perf:
 # Fast small-scale experiment tables.
 quick:
 	cargo run --release --bin experiments -- all --quick
+
+# Capture a quick E2 trace, validate the schema, and diff the trace-derived
+# message counts against the cost ledger (see OBSERVABILITY.md).
+tracecheck:
+	cargo build --release --bin experiments --bin tracereport
+	./target/release/experiments e2 --quick --trace target/tracecheck.jsonl > /dev/null
+	./target/release/tracereport --check target/tracecheck.jsonl

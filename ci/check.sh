@@ -21,6 +21,9 @@ if [[ $fast -eq 0 ]]; then
   cargo build --workspace --release
 fi
 
+echo "==> cargo doc (warnings are errors)"
+RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --workspace --quiet
+
 echo "==> cargo test"
 cargo test --workspace -q
 
@@ -33,6 +36,7 @@ if [[ $fast -eq 0 ]]; then
   cargo test --release -q -p mobidist-net --test wheel_equivalence
   cargo test --release -q -p mobidist-bench --test determinism
   cargo test --release -q -p mobidist-bench --test sim_reuse
+  cargo test --release -q -p mobidist-bench --test trace_check
 fi
 
 echo "==> OK"

@@ -60,10 +60,13 @@ impl StrategyPools {
 
 fn finish_group<S: LocationStrategy>(
     sim: &mut Simulation<GroupHarness<S>>,
+    label: &str,
     horizon: u64,
     lv: impl FnOnce(&GroupHarness<S>) -> Option<(usize, f64)>,
 ) -> GroupRun {
+    crate::obs::install(sim, label);
     sim.run_until(SimTime::from_ticks(horizon));
+    crate::obs::finish_run(sim);
     GroupRun {
         report: sim.protocol().report(),
         ledger: sim.ledger().clone(),
@@ -85,18 +88,18 @@ pub fn run_strategy_in(
         "pure-search" => pools.ps.run(
             cfg,
             GroupHarness::new(PureSearch::new(members), wl),
-            |sim| finish_group(sim, horizon, |_| None),
+            |sim| finish_group(sim, "pure-search", horizon, |_| None),
         ),
         "always-inform" => pools.ai.run(
             cfg,
             GroupHarness::new(AlwaysInform::new(members), wl),
-            |sim| finish_group(sim, horizon, |_| None),
+            |sim| finish_group(sim, "always-inform", horizon, |_| None),
         ),
         "location-view" => pools.lv.run(
             cfg,
             GroupHarness::new(LocationView::new(members, MssId(0)), wl),
             |sim| {
-                finish_group(sim, horizon, |p| {
+                finish_group(sim, "location-view", horizon, |p| {
                     let s = p.strategy();
                     Some((s.max_view_size(), s.significant_fraction()))
                 })
@@ -105,7 +108,7 @@ pub fn run_strategy_in(
         "exactly-once" => pools.eo.run(
             cfg,
             GroupHarness::new(ExactlyOnce::new(members, MssId(0)), wl),
-            |sim| finish_group(sim, horizon, |_| None),
+            |sim| finish_group(sim, "exactly-once", horizon, |_| None),
         ),
         other => panic!("unknown strategy {other}"),
     }

@@ -15,13 +15,14 @@
 //! Each experiment also has a `quick` mode exercised by unit tests, so the
 //! claims are checked on every `cargo test` run as well.
 
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 #![warn(missing_debug_implementations)]
 
 pub mod exp_group;
 pub mod exp_model;
 pub mod exp_mutex;
 pub mod exp_proxy;
+pub mod obs;
 pub mod parallel;
 pub mod stats;
 pub mod table;

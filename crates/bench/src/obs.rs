@@ -1,0 +1,188 @@
+//! Opt-in trace capture for experiment sweeps.
+//!
+//! When `MOBIDIST_TRACE=<path>` is set (the `experiments` CLI sets it from
+//! `--trace <path>`), every traced run attaches a
+//! [`JsonlSink`](mobidist_net::obs::JsonlSink) before it starts and writes
+//! a `run_begin`/events/`run_end` envelope. Because sweeps fan out across
+//! worker threads and one file cannot be appended from many threads without
+//! interleaving lines, each worker thread writes its own part file
+//! (`<path>.w<K>`); [`merge_worker_files`] then folds the parts into
+//! `<path>`, grouping lines by run id — within a run, file order is already
+//! `(time, seq)` order because both are monotone per kernel.
+//!
+//! Run ids come from a process-wide counter, so *which* id a run gets is
+//! scheduling-dependent under `--jobs > 1` — but every run's event stream,
+//! and therefore every trace-derived count, is byte-deterministic (pinned
+//! by the bench crate's `trace_check` test).
+
+use mobidist_net::obs::{jsonl_file_sink, RunMeta};
+use mobidist_net::proto::Protocol;
+use mobidist_net::sim::Simulation;
+use std::io::{BufRead, Write};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Environment variable naming the trace output path; unset means tracing
+/// is disabled and simulations run with no sink installed.
+pub const TRACE_ENV: &str = "MOBIDIST_TRACE";
+
+static RUN_COUNTER: AtomicU64 = AtomicU64::new(0);
+static WORKER_COUNTER: AtomicU64 = AtomicU64::new(0);
+
+std::thread_local! {
+    static WORKER_ID: u64 = WORKER_COUNTER.fetch_add(1, Ordering::Relaxed);
+}
+
+/// The trace base path from [`TRACE_ENV`], when tracing is enabled.
+pub fn trace_base() -> Option<PathBuf> {
+    match std::env::var(TRACE_ENV) {
+        Ok(v) if !v.trim().is_empty() => Some(PathBuf::from(v)),
+        _ => None,
+    }
+}
+
+/// The part file this thread appends to for `base`.
+fn worker_part(base: &Path) -> PathBuf {
+    let w = WORKER_ID.with(|id| *id);
+    let mut os = base.as_os_str().to_owned();
+    os.push(format!(".w{w}"));
+    PathBuf::from(os)
+}
+
+/// Attaches a JSONL sink for one labelled run when tracing is enabled
+/// (no-op otherwise). Call after the simulation is initialised/reset and
+/// before it runs; pair with [`finish_run`] once the run completes.
+pub fn install<P: Protocol>(sim: &mut Simulation<P>, label: &str) {
+    let Some(base) = trace_base() else { return };
+    let run = RUN_COUNTER.fetch_add(1, Ordering::Relaxed);
+    let meta = RunMeta::new(run, label, sim.kernel().config());
+    match jsonl_file_sink(&worker_part(&base), meta) {
+        Ok(sink) => sim.set_trace_sink(Box::new(sink)),
+        Err(e) => eprintln!("warning: cannot open trace file: {e}"),
+    }
+}
+
+/// Ends a traced run: the sink writes its `run_end` ledger summary and is
+/// detached. No-op when [`install`] did not attach a sink.
+pub fn finish_run<P: Protocol>(sim: &mut Simulation<P>) {
+    let _ = sim.finish_trace();
+}
+
+/// Merges the per-worker part files of `base` into `base` itself and
+/// deletes the parts.
+///
+/// Runs are emitted in ascending run id with their in-file line order
+/// preserved (already `(time, seq)`-sorted within a run). Each run lives
+/// wholly in one part file, so grouping lines by their `"run":N` envelope
+/// field is a total, order-preserving merge.
+///
+/// # Errors
+///
+/// Propagates I/O errors; a malformed part line (no `"run":` field) is
+/// reported as `InvalidData`.
+pub fn merge_worker_files(base: &Path) -> std::io::Result<usize> {
+    let dir = base.parent().filter(|p| !p.as_os_str().is_empty());
+    let stem = base
+        .file_name()
+        .ok_or_else(|| std::io::Error::new(std::io::ErrorKind::InvalidInput, "empty trace path"))?
+        .to_string_lossy()
+        .into_owned();
+    let mut parts: Vec<PathBuf> = std::fs::read_dir(dir.unwrap_or(Path::new(".")))?
+        .filter_map(|e| e.ok())
+        .map(|e| e.path())
+        .filter(|p| {
+            p.file_name().map(|n| n.to_string_lossy()).is_some_and(|n| {
+                n.strip_prefix(&stem)
+                    .and_then(|rest| rest.strip_prefix(".w"))
+                    .is_some_and(|k| !k.is_empty() && k.bytes().all(|b| b.is_ascii_digit()))
+            })
+        })
+        .collect();
+    parts.sort();
+    // (run id, lines) per run, then a stable sort by run id.
+    let mut runs: Vec<(u64, Vec<String>)> = Vec::new();
+    for part in &parts {
+        let file = std::io::BufReader::new(std::fs::File::open(part)?);
+        for line in file.lines() {
+            let line = line?;
+            if line.trim().is_empty() {
+                continue;
+            }
+            let run = run_id_of(&line).ok_or_else(|| {
+                std::io::Error::new(
+                    std::io::ErrorKind::InvalidData,
+                    format!("trace line without run id in {}: {line:?}", part.display()),
+                )
+            })?;
+            match runs.last_mut() {
+                Some((r, lines)) if *r == run => lines.push(line),
+                _ => {
+                    if let Some(open) = runs.iter_mut().find(|(r, _)| *r == run) {
+                        open.1.push(line);
+                    } else {
+                        runs.push((run, vec![line]));
+                    }
+                }
+            }
+        }
+    }
+    runs.sort_by_key(|(r, _)| *r);
+    let count = runs.len();
+    let mut out = std::io::BufWriter::new(std::fs::File::create(base)?);
+    for (_, lines) in runs {
+        for line in lines {
+            out.write_all(line.as_bytes())?;
+            out.write_all(b"\n")?;
+        }
+    }
+    out.flush()?;
+    for part in parts {
+        let _ = std::fs::remove_file(part);
+    }
+    Ok(count)
+}
+
+/// Extracts the value of the `"run":` field from a schema line.
+fn run_id_of(line: &str) -> Option<u64> {
+    let idx = line.find("\"run\":")?;
+    let digits: String = line[idx + 6..]
+        .chars()
+        .take_while(|c| c.is_ascii_digit())
+        .collect();
+    digits.parse().ok()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn run_id_extraction() {
+        assert_eq!(run_id_of("{\"v\":1,\"run\":42,\"ev\":\"x\"}"), Some(42));
+        assert_eq!(run_id_of("{\"v\":1}"), None);
+    }
+
+    #[test]
+    fn merge_groups_runs_across_parts() {
+        let dir = std::env::temp_dir().join(format!("mobidist-merge-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let base = dir.join("trace.jsonl");
+        std::fs::write(
+            dir.join("trace.jsonl.w0"),
+            "{\"v\":1,\"run\":1,\"ev\":\"run_begin\"}\n{\"v\":1,\"run\":1,\"ev\":\"run_end\"}\n",
+        )
+        .unwrap();
+        std::fs::write(
+            dir.join("trace.jsonl.w1"),
+            "{\"v\":1,\"run\":0,\"ev\":\"run_begin\"}\n{\"v\":1,\"run\":0,\"ev\":\"run_end\"}\n",
+        )
+        .unwrap();
+        let merged = merge_worker_files(&base).unwrap();
+        assert_eq!(merged, 2);
+        let text = std::fs::read_to_string(&base).unwrap();
+        let runs: Vec<Option<u64>> = text.lines().map(run_id_of).collect();
+        assert_eq!(runs, vec![Some(0), Some(0), Some(1), Some(1)]);
+        assert!(!dir.join("trace.jsonl.w0").exists());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

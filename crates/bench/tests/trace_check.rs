@@ -1,0 +1,140 @@
+//! The observability layer's central invariant, pinned end to end: enabling
+//! `MOBIDIST_TRACE` never perturbs simulation results (experiment tables are
+//! byte-identical with and without it), and the emitted event stream is
+//! complete (trace-derived message counts exactly equal the cost-ledger
+//! counters recorded at `run_end`) for E1, E2, E5 and E11.
+//!
+//! Everything lives in ONE `#[test]` because `MOBIDIST_TRACE` is
+//! process-global: no other test in this binary may race on the variable.
+
+use mobidist_bench::obs::{merge_worker_files, TRACE_ENV};
+use mobidist_bench::{exp_group, exp_mutex};
+use mobidist_net::metrics::Metrics;
+use mobidist_net::obs::{parse_line, Line, RunMeta, RunSummary, TraceEvent};
+use std::collections::BTreeMap;
+use std::io::BufRead;
+use std::path::PathBuf;
+
+fn render_all() -> String {
+    let mut out = String::new();
+    for t in [
+        exp_mutex::e1_lamport(true),
+        exp_mutex::e2_ring(true),
+        exp_group::e5_group_strategies(true),
+        exp_group::e11_exactly_once(true),
+    ] {
+        out.push_str(&t.to_string());
+        out.push_str(&t.to_csv());
+    }
+    out
+}
+
+#[derive(Default)]
+struct Derived {
+    meta: Option<RunMeta>,
+    metrics: Metrics,
+    re_searches: u64,
+    handoffs: u64,
+    events: u64,
+    summary: Option<(RunSummary, u64)>,
+}
+
+#[test]
+fn tracing_is_invisible_and_counts_match_the_ledger() {
+    let untraced = render_all();
+
+    let trace: PathBuf =
+        std::env::temp_dir().join(format!("mobidist-trace-check-{}.jsonl", std::process::id()));
+    let _ = std::fs::remove_file(&trace);
+    std::env::set_var(TRACE_ENV, &trace);
+    let traced = render_all();
+    std::env::remove_var(TRACE_ENV);
+
+    assert_eq!(
+        untraced, traced,
+        "enabling MOBIDIST_TRACE changed an experiment table"
+    );
+
+    let runs_merged = merge_worker_files(&trace).expect("merge worker part files");
+    assert!(
+        runs_merged >= 8,
+        "expected >=8 traced runs across e1/e2/e5/e11"
+    );
+
+    // Re-derive every ledger counter from the event stream alone and diff
+    // against the run_end snapshot the kernel wrote.
+    let mut runs: BTreeMap<u64, Derived> = BTreeMap::new();
+    let file = std::fs::File::open(&trace).expect("open merged trace");
+    for (lineno, line) in std::io::BufReader::new(file).lines().enumerate() {
+        let line = line.expect("read trace line");
+        match parse_line(&line).unwrap_or_else(|e| panic!("line {}: {e}", lineno + 1)) {
+            Line::RunBegin(meta) => {
+                let d = runs.entry(meta.run).or_default();
+                assert!(d.meta.replace(meta).is_none(), "duplicate run_begin");
+            }
+            Line::Event { run, seq, t, ev } => {
+                let d = runs.entry(run).or_default();
+                assert_eq!(seq, d.events, "run {run}: seq not dense");
+                d.events += 1;
+                d.metrics.observe(t, &ev);
+                match ev {
+                    TraceEvent::Search { re: true, .. } => d.re_searches += 1,
+                    TraceEvent::HandoffEnd {
+                        to, prev: Some(p), ..
+                    } if p != to => d.handoffs += 1,
+                    _ => {}
+                }
+            }
+            Line::RunEnd { summary, events } => {
+                let d = runs.entry(summary.run).or_default();
+                assert!(
+                    d.summary.replace((summary, events)).is_none(),
+                    "duplicate run_end"
+                );
+            }
+        }
+    }
+    assert_eq!(runs.len(), runs_merged);
+
+    for (run, d) in &runs {
+        let label = d.meta.as_ref().map_or("?", |m| m.label.as_str());
+        let (s, claimed) = d.summary.as_ref().unwrap_or_else(|| {
+            panic!("run {run} [{label}]: missing run_end");
+        });
+        assert_eq!(*claimed, d.events, "run {run} [{label}]: event count");
+        let m = &d.metrics;
+        let checks: [(&str, u64, u64); 11] = [
+            ("fixed_msgs", m.fixed_msgs.get(), s.fixed_msgs),
+            ("wireless_msgs", m.wireless_msgs.get(), s.wireless_msgs),
+            ("searches", m.kind_count("search"), s.searches),
+            ("re_searches", d.re_searches, s.re_searches),
+            (
+                "search_failures",
+                m.kind_count("search_fail"),
+                s.search_failures,
+            ),
+            ("moves", m.kind_count("handoff_end"), s.moves),
+            ("handoffs", d.handoffs, s.handoffs),
+            ("disconnects", m.kind_count("disconnect"), s.disconnects),
+            ("reconnects", m.kind_count("reconnect"), s.reconnects),
+            (
+                "doze_interruptions",
+                m.kind_count("doze_interrupt"),
+                s.doze_interruptions,
+            ),
+            (
+                "wireless_losses",
+                m.kind_count("down_lost"),
+                s.wireless_losses,
+            ),
+        ];
+        for (name, derived, ledger) in checks {
+            assert_eq!(
+                derived, ledger,
+                "run {run} [{label}]: trace-derived {name} != ledger"
+            );
+        }
+    }
+
+    let _ = std::fs::remove_file(&trace);
+}

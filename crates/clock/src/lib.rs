@@ -21,7 +21,7 @@
 //! assert!(t2 > t1);               // total order respects causality
 //! ```
 
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 #![warn(missing_debug_implementations)]
 
 use std::fmt;

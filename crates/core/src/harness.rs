@@ -10,6 +10,7 @@ use crate::algorithm::{AlgoCtx, Effect, HarnessTimer, MutexAlgorithm};
 use crate::checker::SafetyChecker;
 use mobidist_net::host::MhStatus;
 use mobidist_net::ids::{MhId, MssId};
+use mobidist_net::obs::TraceEvent;
 use mobidist_net::proto::{Ctx, Protocol, Src};
 use mobidist_net::time::SimTime;
 use std::collections::BTreeMap;
@@ -213,6 +214,7 @@ impl<A: MutexAlgorithm> MutexHarness<A> {
                     };
                     *st = ReqState::InCs { left };
                     self.checker.enter(mh, since, ctx.now(), key);
+                    ctx.emit(TraceEvent::CsEnter { mh });
                     let d = ctx.rng().exp_delay(self.wl.mean_hold.max(1));
                     ctx.set_timer(d, HarnessTimer::Hold(mh));
                 }
@@ -292,6 +294,7 @@ impl<A: MutexAlgorithm> Protocol for MutexHarness<A> {
                     left,
                 };
                 self.issued += 1;
+                ctx.emit(TraceEvent::CsRequest { mh });
                 if self.wl.doze_when_idle {
                     ctx.set_doze(mh, false);
                 }
@@ -306,6 +309,7 @@ impl<A: MutexAlgorithm> Protocol for MutexHarness<A> {
                 };
                 self.checker.exit(mh, ctx.now());
                 self.completed += 1;
+                ctx.emit(TraceEvent::CsExit { mh });
                 let left = left.saturating_sub(1);
                 *st = if left == 0 {
                     ReqState::Done

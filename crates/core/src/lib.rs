@@ -32,7 +32,7 @@
 //! assert_eq!(report.completed, 16);
 //! ```
 
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 #![warn(missing_debug_implementations)]
 
 pub mod algorithm;

@@ -9,7 +9,7 @@
 //! functions return wireless-operation counts (the paper's proportional
 //! battery measure).
 
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 #![warn(missing_debug_implementations)]
 
 pub mod group;

@@ -32,7 +32,7 @@
 //! assert_eq!(r.missed, 0);
 //! ```
 
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 #![warn(missing_debug_implementations)]
 
 pub mod always_inform;

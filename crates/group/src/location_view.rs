@@ -256,6 +256,10 @@ impl LocationView {
             if !self.master.contains(&a) {
                 self.significant += 1;
                 ctx.bump("lv_significant_adds");
+                ctx.emit(mobidist_net::obs::TraceEvent::LvUpdate {
+                    cell: a,
+                    added: true,
+                });
                 // Incremental update to current members, full copy to the
                 // newcomer.
                 let current: Vec<MssId> = self.master.iter().copied().collect();
@@ -281,6 +285,10 @@ impl LocationView {
             if self.master.contains(&d) && self.local_members.get(&d).is_none_or(|s| s.is_empty()) {
                 self.significant += 1;
                 ctx.bump("lv_significant_dels");
+                ctx.emit(mobidist_net::obs::TraceEvent::LvUpdate {
+                    cell: d,
+                    added: false,
+                });
                 self.master.remove(&d);
                 let all: Vec<MssId> = self.master.iter().copied().chain([d]).collect();
                 for m in all {

@@ -148,6 +148,13 @@ impl<'a, 'k, M: Debug + 'static, T: Debug + 'static> GroupCtx<'a, 'k, M, T> {
     pub fn rng(&mut self) -> &mut SimRng {
         self.net.rng()
     }
+
+    /// Emits a strategy-level event (e.g.
+    /// [`TraceEvent::LvUpdate`](mobidist_net::obs::TraceEvent::LvUpdate))
+    /// into the kernel's structured trace stream.
+    pub fn emit(&mut self, ev: mobidist_net::obs::TraceEvent) {
+        self.net.emit(ev);
+    }
 }
 
 /// A strategy for delivering group messages to mobile members (Section 4).

@@ -26,6 +26,7 @@ use crate::event::EventQueue;
 use crate::host::{MhState, MhStatus, MssState, OutMsg};
 use crate::ids::{MhId, MssId};
 use crate::ledger::CostLedger;
+use crate::obs::{TraceEvent, TraceSink};
 use crate::proto::{ProtoEvent, Src};
 use crate::rng::SimRng;
 use crate::search::SearchPolicy;
@@ -136,6 +137,12 @@ pub struct Kernel<M, T> {
     ledger: CostLedger,
     pending: VecDeque<ProtoEvent<M, T>>,
     trace: Trace,
+    /// Structured event sink; `None` (the default) costs one branch per
+    /// emission site and never constructs the event.
+    sink: Option<Box<dyn TraceSink>>,
+    /// Per-run emission counter: `(now, trace_seq)` is strictly increasing,
+    /// giving trace consumers a total order. Reset to zero with the kernel.
+    trace_seq: u64,
     /// Reusable buffer for cell-broadcast recipient lists, so the hot path
     /// never allocates per call.
     scratch_locals: Vec<MhId>,
@@ -158,6 +165,8 @@ impl<M: Debug + 'static, T: Debug + 'static> Kernel<M, T> {
             ledger: CostLedger::new(cfg.num_mh),
             pending: VecDeque::new(),
             trace: Trace::default(),
+            sink: None,
+            trace_seq: 0,
             scratch_locals: Vec::new(),
         };
         k.reset(cfg);
@@ -209,6 +218,10 @@ impl<M: Debug + 'static, T: Debug + 'static> Kernel<M, T> {
         self.ledger.reset(n);
         self.pending.clear();
         self.trace.reset();
+        self.trace_seq = 0;
+        if let Some(s) = self.sink.as_deref_mut() {
+            s.rewind();
+        }
         self.cfg = cfg;
         if self.cfg.mobility.enabled {
             for i in 0..n {
@@ -259,6 +272,55 @@ impl<M: Debug + 'static, T: Debug + 'static> Kernel<M, T> {
     /// Mutable access to the trace (to enable/disable it).
     pub fn trace_mut(&mut self) -> &mut Trace {
         &mut self.trace
+    }
+
+    /// Installs a structured trace sink; it observes every subsequent typed
+    /// emission. Replaces any previously installed sink.
+    ///
+    /// Sinks only observe: installing one never changes simulation results
+    /// (no RNG draws, no scheduling — pinned byte-for-byte by the bench
+    /// crate's trace tests).
+    pub fn set_trace_sink(&mut self, sink: Box<dyn TraceSink>) {
+        self.sink = Some(sink);
+    }
+
+    /// Detaches and returns the installed trace sink, if any, without
+    /// notifying it (see [`finish_trace`](Self::finish_trace) for the
+    /// end-of-run path).
+    pub fn take_trace_sink(&mut self) -> Option<Box<dyn TraceSink>> {
+        self.sink.take()
+    }
+
+    /// True when a structured trace sink is installed.
+    pub fn has_trace_sink(&self) -> bool {
+        self.sink.is_some()
+    }
+
+    /// Borrows the installed trace sink for inspection (downcast through
+    /// [`TraceSink::as_any`] to reach a concrete sink's accessors).
+    pub fn trace_sink(&self) -> Option<&dyn TraceSink> {
+        self.sink.as_deref()
+    }
+
+    /// Ends the traced run: calls [`TraceSink::finish`] with the final
+    /// ledger (the JSONL sink writes its `run_end` summary line here) and
+    /// detaches the sink.
+    pub fn finish_trace(&mut self) -> Option<Box<dyn TraceSink>> {
+        let mut s = self.sink.take()?;
+        s.finish(&self.ledger);
+        Some(s)
+    }
+
+    /// Typed-emission hook: one branch when disabled, and the closure — so
+    /// the event is never even constructed — runs only with a sink
+    /// installed.
+    #[inline]
+    pub(crate) fn emit(&mut self, f: impl FnOnce() -> TraceEvent) {
+        if let Some(s) = self.sink.as_deref_mut() {
+            let ev = f();
+            s.record(self.now, self.trace_seq, &ev);
+            self.trace_seq += 1;
+        }
     }
 
     /// Peak occupancy of the MH→MH resequencing buffers — the FIFO burden L1
@@ -345,6 +407,7 @@ impl<M: Debug + 'static, T: Debug + 'static> Kernel<M, T> {
             return;
         }
         self.ledger.charge_fixed(&self.cfg.cost);
+        self.emit(|| TraceEvent::FixedSend { from, to });
         let lat = self.cfg.latency.fixed.sample(&mut self.rng);
         let at = self
             .fifo
@@ -383,6 +446,8 @@ impl<M: Debug + 'static, T: Debug + 'static> Kernel<M, T> {
         // One channel use regardless of listener count.
         self.ledger.wireless_msgs += 1;
         self.ledger.wireless_cost += self.cfg.cost.c_wireless;
+        let listeners = locals.len() as u32;
+        self.emit(|| TraceEvent::CellBroadcast { mss, listeners });
         let lat = self.cfg.latency.wireless.sample(&mut self.rng);
         for mh in &locals {
             let epoch = self.mhs[mh.index()].epoch;
@@ -496,6 +561,7 @@ impl<M: Debug + 'static, T: Debug + 'static> Kernel<M, T> {
     fn push_uplink(&mut self, mh: MhId, mss: MssId, out: OutMsg<M>) {
         let energy = self.cfg.energy.tx;
         self.ledger.charge_wireless_tx(&self.cfg.cost, mh, energy);
+        self.emit(|| TraceEvent::UpSend { mh, mss });
         let lat = self.cfg.latency.wireless.sample(&mut self.rng);
         let at = self.fifo.schedule(ChainKey::Up(mh, mss), self.now + lat);
         match out {
@@ -517,6 +583,7 @@ impl<M: Debug + 'static, T: Debug + 'static> Kernel<M, T> {
     fn schedule_down(&mut self, mss: MssId, mh: MhId, epoch: u64, mode: DownMode, msg: M) {
         self.ledger.wireless_msgs += 1;
         self.ledger.wireless_cost += self.cfg.cost.c_wireless;
+        self.emit(|| TraceEvent::DownSend { mss, mh });
         self.mhs[mh.index()].down_sent += 1;
         let lat = self.cfg.latency.wireless.sample(&mut self.rng);
         let at = self.fifo.schedule(ChainKey::Down(mss, mh), self.now + lat);
@@ -554,6 +621,7 @@ impl<M: Debug + 'static, T: Debug + 'static> Kernel<M, T> {
                 f.sample(&mut self.rng) + f.sample(&mut self.rng)
             }
         };
+        self.emit(|| TraceEvent::Search { target, re });
         let st = &self.mhs[target.index()];
         match st.status {
             MhStatus::Disconnected => {
@@ -591,6 +659,7 @@ impl<M: Debug + 'static, T: Debug + 'static> Kernel<M, T> {
         };
         self.ledger.search_failures += 1;
         self.ledger.charge_fixed(&self.cfg.cost);
+        self.emit(|| TraceEvent::SearchFail { origin, target });
         if let DownMode::FromMh { src, seq, .. } = mode {
             for m in self.reorder.cancel(src, target, seq) {
                 self.pending.push_back(ProtoEvent::MhMsg {
@@ -617,8 +686,10 @@ impl<M: Debug + 'static, T: Debug + 'static> Kernel<M, T> {
         };
         if fresh {
             self.mhs[mh.index()].down_received += 1;
+            self.emit(|| TraceEvent::DownRecv { mh, mss });
             if self.mhs[mh.index()].dozing {
                 self.ledger.doze_interruptions += 1;
+                self.emit(|| TraceEvent::DozeInterrupt { mh });
             }
             let energy = self.cfg.energy.rx;
             self.ledger.mh_rx[mh.index()] += 1;
@@ -644,6 +715,7 @@ impl<M: Debug + 'static, T: Debug + 'static> Kernel<M, T> {
         } else {
             // Prefix-delivery semantics: the MH left (or disconnected) first.
             self.ledger.wireless_losses += 1;
+            self.emit(|| TraceEvent::DownLost { mss, mh });
             match mode {
                 DownMode::Local => {
                     self.pending
@@ -659,6 +731,11 @@ impl<M: Debug + 'static, T: Debug + 'static> Kernel<M, T> {
     fn process(&mut self, ev: Ev<M, T>) {
         match ev {
             Ev::FixedDeliver { from, to, msg } => {
+                if from != to {
+                    // Self-sends are not messages in the model; only real
+                    // fixed-network deliveries appear in the trace.
+                    self.emit(|| TraceEvent::FixedRecv { at: to, from });
+                }
                 self.pending.push_back(ProtoEvent::MssMsg {
                     at: to,
                     src: Src::Mss(from),
@@ -666,6 +743,7 @@ impl<M: Debug + 'static, T: Debug + 'static> Kernel<M, T> {
                 });
             }
             Ev::UpDeliver { mh, mss, msg } => {
+                self.emit(|| TraceEvent::UpRecv { mss, mh });
                 self.pending.push_back(ProtoEvent::MssMsg {
                     at: mss,
                     src: Src::Mh(mh),
@@ -679,6 +757,7 @@ impl<M: Debug + 'static, T: Debug + 'static> Kernel<M, T> {
                 seq,
                 msg,
             } => {
+                self.emit(|| TraceEvent::UpRecv { mss: at, mh: src });
                 self.begin_search(
                     dst,
                     DownMode::FromMh {
@@ -762,6 +841,7 @@ impl<M: Debug + 'static, T: Debug + 'static> Kernel<M, T> {
         self.fifo.reset(ChainKey::Down(mss, mh));
         self.fifo.reset(ChainKey::Up(mh, mss));
         self.ledger.bump("control_wireless"); // leave(r)
+        self.emit(|| TraceEvent::HandoffBegin { mh, from: mss });
         self.trace.record(self.now, || format!("{mh} leaves {mss}"));
         self.pending.push_back(ProtoEvent::Left { mh, mss });
         let gap = self.rng.exp_delay(self.cfg.mobility.mean_gap.max(1));
@@ -805,6 +885,11 @@ impl<M: Debug + 'static, T: Debug + 'static> Kernel<M, T> {
                 self.ledger.bump("control_fixed"); // handoff state request
             }
         }
+        self.emit(|| TraceEvent::HandoffEnd {
+            mh,
+            to: mss,
+            prev: supplied,
+        });
         self.trace
             .record(self.now, || format!("{mh} joins {mss} (prev {prev:?})"));
         self.pending.push_back(ProtoEvent::Joined {
@@ -836,6 +921,7 @@ impl<M: Debug + 'static, T: Debug + 'static> Kernel<M, T> {
         self.fifo.reset(ChainKey::Up(mh, mss));
         self.ledger.disconnects += 1;
         self.ledger.bump("control_wireless"); // disconnect(r)
+        self.emit(|| TraceEvent::Disconnect { mh, mss });
         self.trace
             .record(self.now, || format!("{mh} disconnects at {mss}"));
         self.pending.push_back(ProtoEvent::Disconnected { mh, mss });
@@ -885,6 +971,11 @@ impl<M: Debug + 'static, T: Debug + 'static> Kernel<M, T> {
             self.ledger.bump("ha_registrations");
             self.ledger.bump("control_fixed");
         }
+        self.emit(|| TraceEvent::Reconnect {
+            mh,
+            mss,
+            prev: if supplies_prev { old } else { None },
+        });
         self.trace.record(self.now, || {
             format!("{mh} reconnects at {mss} (was {old:?})")
         });

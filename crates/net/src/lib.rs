@@ -46,7 +46,7 @@
 //! assert_eq!(sim.protocol().greetings, 1);
 //! ```
 
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 #![warn(missing_debug_implementations)]
 
 pub mod channel;
@@ -60,7 +60,9 @@ pub mod ids;
 pub mod kernel;
 pub mod latency;
 pub mod ledger;
+pub mod metrics;
 pub mod mobility;
+pub mod obs;
 pub mod proto;
 pub mod rng;
 pub mod search;
@@ -77,7 +79,9 @@ pub mod prelude {
     pub use crate::ids::{Endpoint, GroupId, MhId, MssId};
     pub use crate::latency::LatencyModel;
     pub use crate::ledger::CostLedger;
+    pub use crate::metrics::{Histogram, Metrics, MetricsSink};
     pub use crate::mobility::{DisconnectConfig, MobilityConfig, MovePattern};
+    pub use crate::obs::{JsonlSink, RingSink, TraceEvent, TraceSink};
     pub use crate::proto::{Ctx, Protocol, Src};
     pub use crate::rng::SimRng;
     pub use crate::search::SearchPolicy;

@@ -15,6 +15,7 @@ use crate::host::MhStatus;
 use crate::ids::{MhId, MssId};
 use crate::kernel::Kernel;
 use crate::ledger::CostLedger;
+use crate::obs::TraceEvent;
 use crate::rng::SimRng;
 use crate::time::SimTime;
 use std::fmt::Debug;
@@ -405,5 +406,13 @@ impl<'a, M: Debug + 'static, T: Debug + 'static> Ctx<'a, M, T> {
     /// Protocol-visible random stream (deterministic per seed).
     pub fn rng(&mut self) -> &mut SimRng {
         self.k.proto_rng()
+    }
+
+    /// Emits an algorithm-level [`TraceEvent`] (CS phases, `LV(G)` updates,
+    /// proxy forwards) into the kernel's structured trace stream, in order
+    /// with the kernel's own emissions. One branch and no event
+    /// construction when no sink is installed.
+    pub fn emit(&mut self, ev: TraceEvent) {
+        self.k.emit(|| ev);
     }
 }

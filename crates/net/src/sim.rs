@@ -102,6 +102,18 @@ impl<P: Protocol> Simulation<P> {
         self.kernel.ledger()
     }
 
+    /// Installs a structured trace sink on the kernel (see
+    /// [`Kernel::set_trace_sink`]).
+    pub fn set_trace_sink(&mut self, sink: Box<dyn crate::obs::TraceSink>) {
+        self.kernel.set_trace_sink(sink);
+    }
+
+    /// Ends the traced run — the sink sees the final ledger and is
+    /// detached and returned (see [`Kernel::finish_trace`]).
+    pub fn finish_trace(&mut self) -> Option<Box<dyn crate::obs::TraceSink>> {
+        self.kernel.finish_trace()
+    }
+
     /// Runs the protocol's `on_start` hook plus anything it scheduled at
     /// time zero. Called implicitly by the run methods.
     pub fn start(&mut self) {

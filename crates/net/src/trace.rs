@@ -30,10 +30,13 @@ pub struct Trace {
 
 impl Trace {
     /// Creates a disabled trace holding at most `cap` entries.
+    ///
+    /// A capacity of 0 is a documented no-op trace: enabling it and
+    /// recording stores nothing (previously 0 was silently clamped to 1).
     pub fn new(cap: usize) -> Self {
         Trace {
             enabled: false,
-            cap: cap.max(1),
+            cap,
             entries: VecDeque::new(),
         }
     }
@@ -55,7 +58,7 @@ impl Trace {
 
     /// Records an entry; the message closure is only evaluated when enabled.
     pub fn record(&mut self, at: SimTime, msg: impl FnOnce() -> String) {
-        if !self.enabled {
+        if !self.enabled || self.cap == 0 {
             return;
         }
         if self.entries.len() == self.cap {
@@ -109,6 +112,15 @@ mod tests {
         }
         let msgs: Vec<&str> = t.entries().map(|(_, m)| m.as_str()).collect();
         assert_eq!(msgs, vec!["e2", "e3", "e4"]);
+    }
+
+    #[test]
+    fn zero_capacity_is_a_noop() {
+        let mut t = Trace::new(0);
+        t.enable();
+        t.record(SimTime::ZERO, || "x".into());
+        assert_eq!(t.entries().count(), 0);
+        assert!(!t.contains("x"));
     }
 
     #[test]

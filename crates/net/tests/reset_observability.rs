@@ -1,0 +1,97 @@
+//! Reuse semantics of the ledger and trace sinks across
+//! `Simulation::reset` / `SimPool` recycling: a recycled simulation must
+//! start with a zeroed ledger (so `CostLedger::delta` measures only the new
+//! run) and a rewound trace sink (so no events leak between runs).
+
+use mobidist_net::obs::RingSink;
+use mobidist_net::prelude::*;
+
+/// Each MH pings its MSS once at start; the MSS echoes back.
+#[derive(Debug, Default)]
+struct Ping;
+
+impl Protocol for Ping {
+    type Msg = u32;
+    type Timer = ();
+
+    fn on_start(&mut self, ctx: &mut Ctx<'_, u32, ()>) {
+        for mh in 0..ctx.config().num_mh as u32 {
+            ctx.send_wireless_up(MhId(mh), mh).unwrap();
+        }
+    }
+    fn on_mss_msg(&mut self, ctx: &mut Ctx<'_, u32, ()>, at: MssId, _src: Src, msg: u32) {
+        ctx.send_wireless_down(at, MhId(msg), msg).unwrap();
+    }
+    fn on_mh_msg(&mut self, _: &mut Ctx<'_, u32, ()>, _: MhId, _: Src, _: u32) {}
+}
+
+fn cfg(seed: u64) -> NetworkConfig {
+    NetworkConfig::new(2, 4).with_seed(seed)
+}
+
+#[test]
+fn ledger_is_zero_after_reset_and_delta_measures_one_run() {
+    let mut sim = Simulation::new(cfg(1), Ping);
+    sim.run_to_quiescence(10_000);
+    let first = sim.ledger().clone();
+    assert!(first.wireless_msgs > 0, "workload produced no traffic");
+
+    sim.reset(cfg(2), Ping);
+    assert_eq!(
+        *sim.ledger(),
+        CostLedger::new(4),
+        "reset must zero every ledger counter"
+    );
+
+    // With a zeroed starting point, delta against a snapshot taken right
+    // after reset equals the full ledger of the new run.
+    let baseline = sim.ledger().clone();
+    sim.run_to_quiescence(10_000);
+    assert_eq!(sim.ledger().delta(&baseline), *sim.ledger());
+    assert_eq!(sim.ledger().wireless_msgs, first.wireless_msgs);
+}
+
+#[test]
+fn pool_reuse_replays_identical_ledgers() {
+    let mut pool: SimPool<Ping> = SimPool::new();
+    let fresh = pool.run(cfg(7), Ping, |sim| {
+        sim.run_to_quiescence(10_000);
+        sim.ledger().clone()
+    });
+    // Same point again through the pool — served by the recycled simulation.
+    let recycled = pool.run(cfg(7), Ping, |sim| {
+        sim.run_to_quiescence(10_000);
+        sim.ledger().clone()
+    });
+    assert_eq!(pool.idle(), 1);
+    assert_eq!(
+        fresh, recycled,
+        "recycled simulation must replay the ledger"
+    );
+}
+
+#[test]
+fn trace_sink_is_rewound_on_reset() {
+    let mut sim = Simulation::new(cfg(3), Ping);
+    sim.kernel_mut()
+        .set_trace_sink(Box::new(RingSink::new(1024)));
+    sim.run_to_quiescence(10_000);
+
+    let recorded = {
+        let sink = sim.kernel().trace_sink().expect("sink installed");
+        let ring = sink
+            .as_any()
+            .downcast_ref::<RingSink>()
+            .expect("RingSink type");
+        assert!(!ring.is_empty(), "traced run recorded no events");
+        ring.len()
+    };
+    assert_eq!(recorded, 8 + 8, "4 up sends + 4 down sends, each delivered");
+
+    // Reset rewinds the installed sink instead of leaking events into the
+    // next run.
+    sim.reset(cfg(4), Ping);
+    let sink = sim.kernel_mut().take_trace_sink().expect("sink survives");
+    let ring = sink.as_any().downcast_ref::<RingSink>().unwrap();
+    assert!(ring.is_empty(), "reset must rewind the trace sink");
+}

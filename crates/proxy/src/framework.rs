@@ -319,6 +319,7 @@ impl<A: StaticAlgorithm> ProxyRuntime<A> {
         } else {
             // The client moved since we last heard: fall back to a search.
             self.report.stale_outputs += 1;
+            ctx.emit(mobidist_net::obs::TraceEvent::ProxyForward { mss: at, mh });
             ctx.search_send(at, mh, PrxMsg::Output { proc, value });
         }
     }
@@ -465,6 +466,7 @@ impl<A: StaticAlgorithm> Protocol for ProxyRuntime<A> {
             // (prefix-delivery semantics). The serving MSS recovers with a
             // search — part of the proxy's obligations.
             self.report.stale_outputs += 1;
+            ctx.emit(mobidist_net::obs::TraceEvent::ProxyForward { mss, mh });
             ctx.search_send(mss, mh, PrxMsg::Output { proc, value });
         }
     }

@@ -30,7 +30,7 @@
 //! assert_eq!(r.inputs_sent, r.outputs_delivered);
 //! ```
 
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 #![warn(missing_debug_implementations)]
 
 pub mod algorithms;

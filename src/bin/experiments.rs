@@ -13,6 +13,12 @@
 //! `--jobs N` sets the worker count for sweep fan-out (`--jobs 1` forces the
 //! sequential path; default is the machine's available parallelism). Tables
 //! are byte-identical at every worker count.
+//!
+//! `--trace <path>` records every simulation run as structured JSONL trace
+//! events (schema in OBSERVABILITY.md). Each sweep worker writes its own
+//! part file; the parts are merged into `<path>` by run id when the runner
+//! exits. Tracing never changes the tables — sinks only observe. Inspect
+//! the output with `cargo run --release --bin tracereport -- <path>`.
 
 use mobidist_bench::{exp_group, exp_model, exp_mutex, exp_proxy, Table};
 use std::process::ExitCode;
@@ -63,6 +69,7 @@ fn main() -> ExitCode {
     let list = args.iter().any(|a| a == "--list" || a == "-l");
     let csv = args.iter().any(|a| a == "--csv");
     let mut jobs_value: Option<String> = None;
+    let mut trace_value: Option<String> = None;
     let mut selected: Vec<&str> = Vec::new();
     let mut it = args.iter();
     while let Some(a) = it.next() {
@@ -76,6 +83,16 @@ fn main() -> ExitCode {
             }
         } else if let Some(v) = a.strip_prefix("--jobs=") {
             jobs_value = Some(v.to_string());
+        } else if a == "--trace" || a == "-t" {
+            match it.next() {
+                Some(v) => trace_value = Some(v.clone()),
+                None => {
+                    eprintln!("--trace requires an output path");
+                    return ExitCode::FAILURE;
+                }
+            }
+        } else if let Some(v) = a.strip_prefix("--trace=") {
+            trace_value = Some(v.to_string());
         } else if !a.starts_with('-') {
             selected.push(a.as_str());
         }
@@ -88,13 +105,23 @@ fn main() -> ExitCode {
         // The sweep layer reads MOBIDIST_JOBS; see mobidist_bench::parallel.
         std::env::set_var("MOBIDIST_JOBS", v);
     }
+    if let Some(path) = &trace_value {
+        if path.is_empty() {
+            eprintln!("--trace expects a non-empty path");
+            return ExitCode::FAILURE;
+        }
+        // The sweep layer reads MOBIDIST_TRACE; see mobidist_bench::obs.
+        std::env::set_var(mobidist_bench::obs::TRACE_ENV, path);
+    }
 
     if list {
         print_list();
         return ExitCode::SUCCESS;
     }
     if selected.is_empty() {
-        eprintln!("usage: experiments [--quick] [--csv] [--jobs N] <e0..e11 | all>...");
+        eprintln!(
+            "usage: experiments [--quick] [--csv] [--jobs N] [--trace PATH] <e0..e11 | all>..."
+        );
         print_list();
         return ExitCode::FAILURE;
     }
@@ -118,6 +145,15 @@ fn main() -> ExitCode {
             None => {
                 eprintln!("unknown experiment '{name}'");
                 print_list();
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    if let Some(path) = &trace_value {
+        match mobidist_bench::obs::merge_worker_files(std::path::Path::new(path)) {
+            Ok(runs) => eprintln!("trace: {runs} runs written to {path}"),
+            Err(e) => {
+                eprintln!("trace merge failed: {e}");
                 return ExitCode::FAILURE;
             }
         }

@@ -1,0 +1,431 @@
+//! Reads structured JSONL traces written by `experiments --trace` and
+//! prints per-run, per-phase cost breakdowns — or, with `--check`,
+//! validates every line against the schema and diffs the trace-derived
+//! message counts against the ledger counts recorded at `run_end`.
+//!
+//! ```text
+//! cargo run --release --bin experiments -- e2 --quick --trace e2.jsonl
+//! cargo run --release --bin tracereport -- e2.jsonl
+//! cargo run --release --bin tracereport -- --check e2.jsonl
+//! ```
+//!
+//! The full schema is documented in OBSERVABILITY.md and in `--help`.
+
+use mobidist_cost as formulas;
+use mobidist_cost::Params;
+use mobidist_net::metrics::{Histogram, Metrics};
+use mobidist_net::obs::{parse_line, Line, RunMeta, RunSummary, TraceEvent, SCHEMA_VERSION};
+use mobidist_net::time::SimTime;
+use std::io::BufRead;
+use std::process::ExitCode;
+
+const HELP: &str = "\
+tracereport — inspect structured simulation traces
+
+usage: tracereport [--check] [--no-hist] <trace.jsonl>...
+
+modes:
+  (default)   per-run report: message counts per channel class, cost
+              breakdown, critical-section phase timings (wait/hold),
+              handoff gaps, send inter-arrival histograms, and a
+              predicted-vs-measured drill-down for the runs the paper
+              gives closed forms for (labels `l1`, `l2`).
+  --check     validate every line against the schema (version, known event
+              kinds, required fields, dense per-run seq, monotone (t, seq))
+              and diff the trace-derived counts against the `run_end`
+              ledger snapshot. Exit code 1 on any violation or mismatch.
+
+options:
+  --no-hist   omit the ASCII histograms from the report
+  -h, --help  this text
+
+schema (version 1) — one flat JSON object per line:
+  envelope   {\"v\":1,\"run\":R,...} on every line; events also carry
+             \"seq\" (dense from 0 per run) and \"t\" (sim ticks).
+  run_begin  label, m, n, seed, c_fixed, c_wireless, c_search, policy
+  run_end    events + the final ledger counters: fixed_msgs,
+             wireless_msgs, searches, re_searches, search_failures, moves,
+             handoffs, disconnects, reconnects, doze_interruptions,
+             wireless_losses, total_cost, total_energy
+  events     (fields beyond the envelope)
+    fixed_send     from, to          charged fixed-network send
+    fixed_recv     at, from          fixed-network delivery
+    up_send        mh, mss           charged wireless uplink send
+    up_recv        mss, mh           uplink delivery at the MSS
+    down_send      mss, mh           charged wireless downlink send
+    down_recv      mh, mss           downlink delivery at the MH
+    cell_broadcast mss, listeners    one charged cell-wide broadcast
+    down_lost      mss, mh           downlink lost to a departure
+    search         target, re        search issued (re=1: re-search)
+    search_fail    origin, target    search ended at a disconnected MH
+    doze_interrupt mh                delivery interrupted doze mode
+    handoff_begin  mh, from          MH left its cell
+    handoff_end    mh, to[, prev]    MH joined a cell
+    disconnect     mh, mss           voluntary disconnection
+    reconnect      mh, mss[, prev]   reconnection
+    cs_request     mh                critical section requested
+    cs_enter       mh                critical section entered
+    cs_exit        mh                critical section released
+    lv_update      cell, added       location-view change applied
+    proxy_forward  mss, mh           proxy searched for a moved client
+
+count identities checked by --check (trace-derived == ledger):
+  fixed_msgs    = fixed_send + search_fail
+  wireless_msgs = up_send + down_send + cell_broadcast
+  searches      = search        re_searches = search(re=1)
+  moves         = handoff_end   handoffs    = handoff_end(prev≠to)
+  plus search_failures, disconnects, reconnects, doze_interruptions,
+  wireless_losses matching their event counts one-to-one.
+";
+
+/// Everything accumulated for one run while streaming a trace file.
+struct RunAcc {
+    meta: Option<RunMeta>,
+    metrics: Metrics,
+    summary: Option<(RunSummary, u64)>,
+    events: u64,
+    next_seq: u64,
+    last: (SimTime, u64),
+    re_searches: u64,
+    handoffs: u64,
+    last_fixed_send: Option<SimTime>,
+    last_wireless_send: Option<SimTime>,
+    fixed_gaps: Histogram,
+    wireless_gaps: Histogram,
+    errors: Vec<String>,
+}
+
+impl RunAcc {
+    fn new() -> Self {
+        RunAcc {
+            meta: None,
+            metrics: Metrics::default(),
+            summary: None,
+            events: 0,
+            next_seq: 0,
+            last: (SimTime::ZERO, 0),
+            re_searches: 0,
+            handoffs: 0,
+            last_fixed_send: None,
+            last_wireless_send: None,
+            fixed_gaps: Histogram::default(),
+            wireless_gaps: Histogram::default(),
+            errors: Vec::new(),
+        }
+    }
+
+    fn observe(&mut self, seq: u64, t: SimTime, ev: &TraceEvent) {
+        if self.meta.is_none() {
+            self.errors
+                .push(format!("event seq {seq} before run_begin"));
+        }
+        if self.summary.is_some() {
+            self.errors.push(format!("event seq {seq} after run_end"));
+        }
+        if seq != self.next_seq {
+            self.errors.push(format!(
+                "seq not dense: expected {}, got {seq}",
+                self.next_seq
+            ));
+        }
+        if self.events > 0 && (t, seq) <= self.last {
+            self.errors
+                .push(format!("(t, seq) not increasing at seq {seq}"));
+        }
+        self.next_seq = seq + 1;
+        self.last = (t, seq);
+        self.events += 1;
+        self.metrics.observe(t, ev);
+        match *ev {
+            TraceEvent::Search { re: true, .. } => self.re_searches += 1,
+            TraceEvent::HandoffEnd {
+                to, prev: Some(p), ..
+            } if p != to => self.handoffs += 1,
+            _ => {}
+        }
+        if ev.fixed_msgs() > 0 {
+            if let Some(prev) = self.last_fixed_send.replace(t) {
+                self.fixed_gaps.record(t.saturating_since(prev));
+            }
+        }
+        if ev.wireless_msgs() > 0 {
+            if let Some(prev) = self.last_wireless_send.replace(t) {
+                self.wireless_gaps.record(t.saturating_since(prev));
+            }
+        }
+    }
+
+    /// Diffs every trace-derived counter against the `run_end` snapshot,
+    /// pushing one error per mismatch.
+    fn check_against_summary(&mut self) {
+        let Some((s, claimed_events)) = self.summary else {
+            self.errors.push("missing run_end".to_owned());
+            return;
+        };
+        if self.meta.is_none() {
+            self.errors.push("missing run_begin".to_owned());
+        }
+        if claimed_events != self.events {
+            self.errors.push(format!(
+                "run_end claims {claimed_events} events, file has {}",
+                self.events
+            ));
+        }
+        let m = &self.metrics;
+        let pairs: [(&str, u64, u64); 11] = [
+            ("fixed_msgs", m.fixed_msgs.get(), s.fixed_msgs),
+            ("wireless_msgs", m.wireless_msgs.get(), s.wireless_msgs),
+            ("searches", m.kind_count("search"), s.searches),
+            ("re_searches", self.re_searches, s.re_searches),
+            (
+                "search_failures",
+                m.kind_count("search_fail"),
+                s.search_failures,
+            ),
+            ("moves", m.kind_count("handoff_end"), s.moves),
+            ("handoffs", self.handoffs, s.handoffs),
+            ("disconnects", m.kind_count("disconnect"), s.disconnects),
+            ("reconnects", m.kind_count("reconnect"), s.reconnects),
+            (
+                "doze_interruptions",
+                m.kind_count("doze_interrupt"),
+                s.doze_interruptions,
+            ),
+            (
+                "wireless_losses",
+                m.kind_count("down_lost"),
+                s.wireless_losses,
+            ),
+        ];
+        for (name, derived, ledger) in pairs {
+            if derived != ledger {
+                self.errors.push(format!(
+                    "{name}: trace-derived {derived} != ledger {ledger}"
+                ));
+            }
+        }
+    }
+
+    /// The paper's closed-form per-execution cost for this run's label, when
+    /// one exists (`l1`/`l2`).
+    fn predicted_cost(&self) -> Option<u64> {
+        let meta = self.meta.as_ref()?;
+        let p = Params {
+            c_fixed: meta.c_fixed,
+            c_wireless: meta.c_wireless,
+            c_search: meta.c_search,
+        };
+        match meta.label.as_str() {
+            "l1" => Some(formulas::l1_execution_cost(meta.n, p)),
+            "l2" => Some(formulas::l2_execution_cost(meta.m, p)),
+            _ => None,
+        }
+    }
+
+    fn print_report(&self, run: u64, hist: bool) {
+        let label = self.meta.as_ref().map_or("?", |m| m.label.as_str());
+        println!("run {run} [{label}]");
+        if let Some(meta) = &self.meta {
+            println!(
+                "  config: m={} n={} seed={} policy={} (C_fixed={} C_wireless={} C_search={})",
+                meta.m,
+                meta.n,
+                meta.seed,
+                meta.policy,
+                meta.c_fixed,
+                meta.c_wireless,
+                meta.c_search
+            );
+        }
+        let m = &self.metrics;
+        println!(
+            "  events: {} ({} kinds); span {}..{}",
+            self.events,
+            m.by_kind.len(),
+            SimTime::ZERO,
+            self.last.0
+        );
+        println!(
+            "  messages: fixed={} wireless={} (up={} down={} bcast={}) searches={} (re={} failed={}) lost={}",
+            m.fixed_msgs.get(),
+            m.wireless_msgs.get(),
+            m.kind_count("up_send"),
+            m.kind_count("down_send"),
+            m.kind_count("cell_broadcast"),
+            m.kind_count("search"),
+            self.re_searches,
+            m.kind_count("search_fail"),
+            m.kind_count("down_lost"),
+        );
+        println!(
+            "  mobility: moves={} handoffs={} disconnects={} reconnects={} doze_interrupts={}",
+            m.kind_count("handoff_end"),
+            self.handoffs,
+            m.kind_count("disconnect"),
+            m.kind_count("reconnect"),
+            m.kind_count("doze_interrupt"),
+        );
+        if let Some((s, _)) = self.summary {
+            println!(
+                "  ledger: total_cost={} total_energy={}",
+                s.total_cost, s.total_energy
+            );
+            let completions = m.kind_count("cs_exit");
+            if completions > 0 {
+                let measured = s.total_cost as f64 / completions as f64;
+                let predicted = self
+                    .predicted_cost()
+                    .map_or("-".to_owned(), |p| p.to_string());
+                println!(
+                    "  cs: requests={} completions={} cost/execution: measured={measured:.2} predicted={predicted}",
+                    m.kind_count("cs_request"),
+                    completions,
+                );
+                println!(
+                    "  cs wait: mean={:.1} p95<={} max={}   hold: mean={:.1} max={}",
+                    m.cs_wait.mean(),
+                    m.cs_wait.quantile(0.95),
+                    m.cs_wait.max(),
+                    m.cs_hold.mean(),
+                    m.cs_hold.max(),
+                );
+            }
+        }
+        if m.handoff_gap.count() > 0 {
+            println!(
+                "  handoff gap: mean={:.1} p95<={} max={}",
+                m.handoff_gap.mean(),
+                m.handoff_gap.quantile(0.95),
+                m.handoff_gap.max(),
+            );
+        }
+        let lv = m.kind_count("lv_update");
+        let proxy = m.kind_count("proxy_forward");
+        if lv + proxy > 0 {
+            println!("  algorithm: lv_updates={lv} proxy_forwards={proxy}");
+        }
+        if hist {
+            if self.wireless_gaps.count() > 0 {
+                println!("  wireless send inter-arrival (ticks):");
+                print!("{}", self.wireless_gaps);
+            }
+            if self.fixed_gaps.count() > 0 {
+                println!("  fixed send inter-arrival (ticks):");
+                print!("{}", self.fixed_gaps);
+            }
+            if m.cs_wait.count() > 0 {
+                println!("  cs wait (ticks):");
+                print!("{}", m.cs_wait);
+            }
+        }
+        println!();
+    }
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.iter().any(|a| a == "--help" || a == "-h") || args.is_empty() {
+        print!("{HELP}");
+        return if args.is_empty() {
+            ExitCode::FAILURE
+        } else {
+            ExitCode::SUCCESS
+        };
+    }
+    let check = args.iter().any(|a| a == "--check");
+    let hist = !args.iter().any(|a| a == "--no-hist");
+    let files: Vec<&String> = args.iter().filter(|a| !a.starts_with('-')).collect();
+    if files.is_empty() {
+        eprintln!("tracereport: no trace files given (see --help)");
+        return ExitCode::FAILURE;
+    }
+
+    // Run id -> accumulator, insertion-ordered so reports follow the file.
+    let mut order: Vec<u64> = Vec::new();
+    let mut runs: std::collections::BTreeMap<u64, RunAcc> = std::collections::BTreeMap::new();
+    let mut parse_errors = 0u64;
+    let mut total_lines = 0u64;
+
+    for path in &files {
+        let file = match std::fs::File::open(path) {
+            Ok(f) => std::io::BufReader::new(f),
+            Err(e) => {
+                eprintln!("tracereport: cannot open {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        for (lineno, line) in file.lines().enumerate() {
+            let line = match line {
+                Ok(l) => l,
+                Err(e) => {
+                    eprintln!("{path}:{}: read error: {e}", lineno + 1);
+                    return ExitCode::FAILURE;
+                }
+            };
+            if line.trim().is_empty() {
+                continue;
+            }
+            total_lines += 1;
+            match parse_line(&line) {
+                Ok(Line::RunBegin(meta)) => {
+                    let run = meta.run;
+                    let acc = runs.entry(run).or_insert_with(RunAcc::new);
+                    if acc.meta.replace(meta).is_some() {
+                        acc.errors.push("duplicate run_begin".to_owned());
+                    }
+                    if !order.contains(&run) {
+                        order.push(run);
+                    }
+                }
+                Ok(Line::Event { run, seq, t, ev }) => {
+                    runs.entry(run)
+                        .or_insert_with(RunAcc::new)
+                        .observe(seq, t, &ev);
+                }
+                Ok(Line::RunEnd { summary, events }) => {
+                    let acc = runs.entry(summary.run).or_insert_with(RunAcc::new);
+                    if acc.summary.replace((summary, events)).is_some() {
+                        acc.errors.push("duplicate run_end".to_owned());
+                    }
+                }
+                Err(e) => {
+                    parse_errors += 1;
+                    eprintln!("{path}:{}: {e}", lineno + 1);
+                }
+            }
+        }
+    }
+
+    if check {
+        let mut failed = parse_errors > 0;
+        for (run, acc) in runs.iter_mut() {
+            acc.check_against_summary();
+            for e in &acc.errors {
+                eprintln!("run {run}: {e}");
+                failed = true;
+            }
+        }
+        if failed {
+            eprintln!("tracereport --check: FAILED");
+            return ExitCode::FAILURE;
+        }
+        let events: u64 = runs.values().map(|a| a.events).sum();
+        println!(
+            "tracereport --check: OK — {} lines, {} runs, {events} events, schema v{SCHEMA_VERSION}, all counts match the ledger",
+            total_lines,
+            runs.len(),
+        );
+        return ExitCode::SUCCESS;
+    }
+
+    for run in order {
+        if let Some(acc) = runs.get(&run) {
+            acc.print_report(run, hist);
+        }
+    }
+    if parse_errors > 0 {
+        eprintln!("tracereport: {parse_errors} malformed lines skipped");
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
+}

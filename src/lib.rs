@@ -38,7 +38,7 @@
 //! assert_eq!(report.completed, 32);
 //! ```
 
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 pub use mobidist_clock as clock;
 pub use mobidist_core as mutex;
