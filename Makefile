@@ -1,6 +1,6 @@
 # Convenience targets; see ci/check.sh for the full gate.
 
-.PHONY: build test check bench perf quick tracecheck
+.PHONY: build test check bench perf quick tracecheck cachecheck
 
 build:
 	cargo build --workspace --release
@@ -29,3 +29,13 @@ tracecheck:
 	cargo build --release --bin experiments --bin tracereport
 	./target/release/experiments e2 --quick --trace target/tracecheck.jsonl > /dev/null
 	./target/release/tracereport --check target/tracecheck.jsonl
+
+# Run the full sweep set twice against one cache directory and diff the
+# tables byte-for-byte: the warm pass must replay from the run cache
+# (see DESIGN.md). The CI gate in ci/check.sh also enforces the speedup.
+cachecheck:
+	cargo build --release --bin experiments
+	rm -rf target/cachecheck && mkdir -p target/cachecheck
+	./target/release/experiments all --cache target/cachecheck/store > target/cachecheck/cold.txt
+	./target/release/experiments all --cache target/cachecheck/store > target/cachecheck/warm.txt
+	cmp target/cachecheck/cold.txt target/cachecheck/warm.txt

@@ -37,6 +37,38 @@ if [[ $fast -eq 0 ]]; then
   cargo test --release -q -p mobidist-bench --test determinism
   cargo test --release -q -p mobidist-bench --test sim_reuse
   cargo test --release -q -p mobidist-bench --test trace_check
+  cargo test --release -q -p mobidist-bench --test cache_check
+
+  # Cache-soundness gate: run the full sweep set twice against one cache
+  # directory. The second pass must replay from disk — byte-identical
+  # tables, a nonzero hit count, and at least a 5x wall-time win.
+  echo "==> run-cache soundness gate"
+  cargo build --release --bin experiments
+  cachedir="$(mktemp -d)"
+  trap 'rm -rf "$cachedir"' EXIT
+  t0=$(date +%s%N)
+  ./target/release/experiments all --cache "$cachedir/store" \
+    > "$cachedir/cold.txt" 2> "$cachedir/cold.err"
+  t1=$(date +%s%N)
+  ./target/release/experiments all --cache "$cachedir/store" \
+    > "$cachedir/warm.txt" 2> "$cachedir/warm.err"
+  t2=$(date +%s%N)
+  cmp "$cachedir/cold.txt" "$cachedir/warm.txt" || {
+    echo "cache gate: warm tables differ from cold tables" >&2; exit 1; }
+  grep -q 'hits=0 ' "$cachedir/cold.err" || {
+    echo "cache gate: cold pass unexpectedly hit the cache" >&2
+    cat "$cachedir/cold.err" >&2; exit 1; }
+  grep -q 'cache: hits=' "$cachedir/warm.err" && \
+    ! grep -q 'hits=0 ' "$cachedir/warm.err" || {
+    echo "cache gate: warm pass reported zero cache hits" >&2
+    cat "$cachedir/warm.err" >&2; exit 1; }
+  cold_ms=$(( (t1 - t0) / 1000000 ))
+  warm_ms=$(( (t2 - t1) / 1000000 ))
+  echo "    cold ${cold_ms} ms, warm ${warm_ms} ms"
+  if (( warm_ms * 5 > cold_ms )); then
+    echo "cache gate: warm pass (${warm_ms} ms) not 5x faster than cold (${cold_ms} ms)" >&2
+    exit 1
+  fi
 fi
 
 echo "==> OK"

@@ -1,0 +1,101 @@
+//! Experiment-level glue over the [`mobidist_runcache`] store.
+//!
+//! Every run helper in this crate funnels through [`cached`]: given the
+//! canonical descriptor of a run (site label + [`NetworkConfig`] + the
+//! workload/tuning extras) it either replays a stored outcome or computes,
+//! stores and returns a fresh one. Because runs are deterministic and the
+//! fingerprint covers everything the outcome depends on, a warm cache is
+//! **byte-indistinguishable** from cold execution in every emitted table
+//! (pinned by the `cache_check` integration test).
+//!
+//! The cache is inactive — and this module reduces to one environment-
+//! variable probe per run — unless `MOBIDIST_CACHE` names a directory
+//! (the CLIs' `--cache DIR` flag sets it).
+//!
+//! Labels name the *construction site*, not just the algorithm: two call
+//! sites that build their harness differently must not share a label, or
+//! identical `(cfg, extras)` could alias different computations. Helpers
+//! (`run_l1_in`, `run_strategy_in`, …) use the algorithm name; direct
+//! construction sites in E3/E7/E10 use site-specific labels (`"e3_l1"`,
+//! `"e10_proxy"`, …).
+
+use crate::exp_group::GroupRun;
+use crate::exp_mutex::MutexRun;
+use mobidist_net::config::NetworkConfig;
+use mobidist_net::fingerprint::{CanonHash, Fingerprint};
+use mobidist_net::ledger::CostLedger;
+use mobidist_runcache::codec::{Codec, Reader};
+use mobidist_runcache::{cache_dir, store};
+
+/// Memoizes one deterministic run.
+///
+/// When the cache is inactive this is exactly `compute()`. When active, a
+/// hit decodes the stored outcome and (if tracing is enabled) emits a
+/// synthetic one-event `cache_hit` trace envelope carrying the cached
+/// ledger via `ledger_of`; a miss computes, stores and returns.
+///
+/// `extra` carries everything beyond the [`NetworkConfig`] that the run's
+/// outcome depends on — workload, horizon, algorithm tuning. Omitting a
+/// knob from `extra` is the one way to corrupt results with this cache, so
+/// err on the side of including too much: a spurious distinction only
+/// costs a recompute.
+pub fn cached<T: Codec>(
+    label: &str,
+    cfg: &NetworkConfig,
+    extra: &impl CanonHash,
+    ledger_of: impl Fn(&T) -> &CostLedger,
+    compute: impl FnOnce() -> T,
+) -> T {
+    let Some(dir) = cache_dir() else {
+        return compute();
+    };
+    let fp = Fingerprint::of(&(label, cfg, extra));
+    let cache = store::global();
+    if let Some(bytes) = cache.get(Some(&dir), fp) {
+        let mut r = Reader::new(&bytes);
+        if let Some(out) = T::decode(&mut r).filter(|_| r.is_empty()) {
+            crate::obs::trace_cached_run(label, cfg, fp, ledger_of(&out));
+            return out;
+        }
+        // The record validated at the store layer but does not decode as
+        // `T` (e.g. two sites sharing a fingerprint with different result
+        // types — a bug, but one that must degrade to recomputation).
+    }
+    let out = compute();
+    let mut bytes = Vec::new();
+    out.encode(&mut bytes);
+    cache.put(Some(&dir), fp, bytes);
+    out
+}
+
+impl Codec for MutexRun {
+    fn encode(&self, out: &mut Vec<u8>) {
+        let MutexRun { report, ledger } = self;
+        report.encode(out);
+        ledger.encode(out);
+    }
+
+    fn decode(r: &mut Reader<'_>) -> Option<Self> {
+        Some(MutexRun {
+            report: Codec::decode(r)?,
+            ledger: Codec::decode(r)?,
+        })
+    }
+}
+
+impl Codec for GroupRun {
+    fn encode(&self, out: &mut Vec<u8>) {
+        let GroupRun { report, ledger, lv } = self;
+        report.encode(out);
+        ledger.encode(out);
+        lv.encode(out);
+    }
+
+    fn decode(r: &mut Reader<'_>) -> Option<Self> {
+        Some(GroupRun {
+            report: Codec::decode(r)?,
+            ledger: Codec::decode(r)?,
+            lv: Codec::decode(r)?,
+        })
+    }
+}

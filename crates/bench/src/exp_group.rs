@@ -84,34 +84,40 @@ pub fn run_strategy_in(
     wl: GroupWorkload,
     horizon: u64,
 ) -> GroupRun {
-    match which {
-        "pure-search" => pools.ps.run(
-            cfg,
-            GroupHarness::new(PureSearch::new(members), wl),
-            |sim| finish_group(sim, "pure-search", horizon, |_| None),
-        ),
-        "always-inform" => pools.ai.run(
-            cfg,
-            GroupHarness::new(AlwaysInform::new(members), wl),
-            |sim| finish_group(sim, "always-inform", horizon, |_| None),
-        ),
-        "location-view" => pools.lv.run(
-            cfg,
-            GroupHarness::new(LocationView::new(members, MssId(0)), wl),
-            |sim| {
-                finish_group(sim, "location-view", horizon, |p| {
-                    let s = p.strategy();
-                    Some((s.max_view_size(), s.significant_fraction()))
-                })
-            },
-        ),
-        "exactly-once" => pools.eo.run(
-            cfg,
-            GroupHarness::new(ExactlyOnce::new(members, MssId(0)), wl),
-            |sim| finish_group(sim, "exactly-once", horizon, |_| None),
-        ),
-        other => panic!("unknown strategy {other}"),
-    }
+    crate::cache::cached(
+        which,
+        &cfg,
+        &(&members, &wl, horizon),
+        |r: &GroupRun| &r.ledger,
+        || match which {
+            "pure-search" => pools.ps.run(
+                cfg.clone(),
+                GroupHarness::new(PureSearch::new(members.clone()), wl.clone()),
+                |sim| finish_group(sim, "pure-search", horizon, |_| None),
+            ),
+            "always-inform" => pools.ai.run(
+                cfg.clone(),
+                GroupHarness::new(AlwaysInform::new(members.clone()), wl.clone()),
+                |sim| finish_group(sim, "always-inform", horizon, |_| None),
+            ),
+            "location-view" => pools.lv.run(
+                cfg.clone(),
+                GroupHarness::new(LocationView::new(members.clone(), MssId(0)), wl.clone()),
+                |sim| {
+                    finish_group(sim, "location-view", horizon, |p| {
+                        let s = p.strategy();
+                        Some((s.max_view_size(), s.significant_fraction()))
+                    })
+                },
+            ),
+            "exactly-once" => pools.eo.run(
+                cfg.clone(),
+                GroupHarness::new(ExactlyOnce::new(members.clone(), MssId(0)), wl.clone()),
+                |sim| finish_group(sim, "exactly-once", horizon, |_| None),
+            ),
+            other => panic!("unknown strategy {other}"),
+        },
+    )
 }
 
 /// Runs one strategy under the given network/workload.

@@ -1,6 +1,7 @@
 //! Experiment E10: the proxy framework's mobility price (Section 5).
 
 use crate::table::{f2, Table};
+use mobidist_net::ledger::CostLedger;
 use mobidist_net::prelude::*;
 use mobidist_proxy::prelude::*;
 
@@ -40,23 +41,54 @@ pub fn e10_proxy(quick: bool) -> Table {
                 inputs_per_client: if quick { 3 } else { 6 },
                 mean_interval: 400,
             };
-            let clients: Vec<MhId> = (0..n as u32).map(MhId).collect();
-            let mut sim = Simulation::new(
-                cfg,
-                ProxyRuntime::new(CentralCounter::new(), clients, policy, wl),
+            let horizon: u64 = if quick { 200_000 } else { 500_000 };
+            // Discriminant + radius pin the policy in the fingerprint.
+            let (policy_tag, radius): (u64, u64) = match policy {
+                ProxyPolicy::Fixed => (0, 0),
+                ProxyPolicy::LocalMss => (1, 0),
+                ProxyPolicy::Adaptive { radius } => (2, radius as u64),
+            };
+            // Cache the ledger plus the report counters the table reads.
+            let (ledger, (loc_updates, handoffs, stale, served, inputs)) = crate::cache::cached(
+                "e10_proxy",
+                &cfg,
+                &(
+                    policy_tag,
+                    radius,
+                    wl.inputs_per_client,
+                    wl.mean_interval,
+                    horizon,
+                ),
+                |out: &(CostLedger, (u64, u64, u64, u64, u64))| &out.0,
+                || {
+                    let clients: Vec<MhId> = (0..n as u32).map(MhId).collect();
+                    let mut sim = Simulation::new(
+                        cfg.clone(),
+                        ProxyRuntime::new(CentralCounter::new(), clients, policy, wl),
+                    );
+                    sim.run_until(SimTime::from_ticks(horizon));
+                    let r = sim.protocol().report();
+                    (
+                        sim.ledger().clone(),
+                        (
+                            r.loc_updates,
+                            r.handoffs,
+                            r.stale_outputs,
+                            r.outputs_delivered,
+                            r.inputs_sent,
+                        ),
+                    )
+                },
             );
-            sim.run_until(SimTime::from_ticks(if quick { 200_000 } else { 500_000 }));
-            let r = sim.protocol().report();
-            let served = r.outputs_delivered;
-            let cost = sim.ledger().total_cost() as f64 / served.max(1) as f64;
+            let cost = ledger.total_cost() as f64 / served.max(1) as f64;
             t.push(vec![
                 dwell.to_string(),
                 format!("{policy:?}"),
-                sim.ledger().moves.to_string(),
-                r.loc_updates.to_string(),
-                r.handoffs.to_string(),
-                r.stale_outputs.to_string(),
-                format!("{}/{}", served, r.inputs_sent),
+                ledger.moves.to_string(),
+                loc_updates.to_string(),
+                handoffs.to_string(),
+                stale.to_string(),
+                format!("{}/{}", served, inputs),
                 f2(cost),
             ]);
         }

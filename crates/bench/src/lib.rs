@@ -18,6 +18,7 @@
 #![deny(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod cache;
 pub mod exp_group;
 pub mod exp_model;
 pub mod exp_mutex;

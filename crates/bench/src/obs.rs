@@ -15,9 +15,13 @@
 //! and therefore every trace-derived count, is byte-deterministic (pinned
 //! by the bench crate's `trace_check` test).
 
-use mobidist_net::obs::{jsonl_file_sink, RunMeta};
+use mobidist_net::config::NetworkConfig;
+use mobidist_net::fingerprint::Fingerprint;
+use mobidist_net::ledger::CostLedger;
+use mobidist_net::obs::{jsonl_file_sink, RunMeta, TraceEvent, TraceSink};
 use mobidist_net::proto::Protocol;
 use mobidist_net::sim::Simulation;
+use mobidist_net::time::SimTime;
 use std::io::{BufRead, Write};
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -66,6 +70,35 @@ pub fn install<P: Protocol>(sim: &mut Simulation<P>, label: &str) {
 /// detached. No-op when [`install`] did not attach a sink.
 pub fn finish_run<P: Protocol>(sim: &mut Simulation<P>) {
     let _ = sim.finish_trace();
+}
+
+/// Writes the trace envelope for a run served from the run cache (no-op
+/// when tracing is disabled).
+///
+/// A cache hit replays a stored outcome without executing the kernel, so
+/// there is no event stream to capture; instead the run appears in the
+/// trace as `run_begin`, a single [`TraceEvent::CacheHit`] carrying the
+/// descriptor fingerprint, and a `run_end` built from the **cached**
+/// ledger. `tracereport --check` exempts such runs from event-count
+/// identity for exactly this reason.
+pub fn trace_cached_run(label: &str, cfg: &NetworkConfig, fp: Fingerprint, ledger: &CostLedger) {
+    let Some(base) = trace_base() else { return };
+    let run = RUN_COUNTER.fetch_add(1, Ordering::Relaxed);
+    let meta = RunMeta::new(run, label, cfg);
+    match jsonl_file_sink(&worker_part(&base), meta) {
+        Ok(mut sink) => {
+            sink.record(
+                SimTime::ZERO,
+                0,
+                &TraceEvent::CacheHit {
+                    fp_hi: fp.hi,
+                    fp_lo: fp.lo,
+                },
+            );
+            sink.finish(ledger);
+        }
+        Err(e) => eprintln!("warning: cannot open trace file: {e}"),
+    }
 }
 
 /// Merges the per-worker part files of `base` into `base` itself and

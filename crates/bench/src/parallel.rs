@@ -8,9 +8,10 @@
 //! count or scheduling. `--jobs 1` (or `MOBIDIST_JOBS=1`) falls back to a
 //! plain in-thread loop.
 //!
-//! No external crates: work distribution is a mutex-guarded deque (items are
-//! tiny config descriptors; lock traffic is noise next to a simulation run)
-//! and results travel over `std::sync::mpsc`.
+//! No external crates: work distribution is a mutex-guarded deque drained in
+//! small adaptive chunks (up to 4 items per lock acquisition while the queue
+//! is long, one-at-a-time near the tail for load balance) and results travel
+//! over `std::sync::mpsc`.
 
 use std::collections::VecDeque;
 use std::sync::mpsc;
@@ -111,11 +112,26 @@ where
             let make_state = &make_state;
             s.spawn(move || {
                 let mut w = make_state();
-                loop {
-                    let next = queue.lock().expect("work queue poisoned").pop_front();
-                    let Some((i, x)) = next else { break };
-                    if tx.send((i, f(&mut w, i, x))).is_err() {
-                        break;
+                // Pop work in small adaptive chunks: one lock acquisition
+                // per chunk instead of per item cuts queue overhead on
+                // fast items, while the `q.len() / (jobs * 2)` bound keeps
+                // the tail balanced — near the end of the queue workers
+                // fall back to one-at-a-time. Results still carry their
+                // input index, so the ordering guarantee is untouched.
+                let mut batch = Vec::with_capacity(4);
+                'work: loop {
+                    {
+                        let mut q = queue.lock().expect("work queue poisoned");
+                        if q.is_empty() {
+                            break;
+                        }
+                        let take = (q.len() / (jobs * 2)).clamp(1, 4);
+                        batch.extend(q.drain(..take));
+                    }
+                    for (i, x) in batch.drain(..) {
+                        if tx.send((i, f(&mut w, i, x))).is_err() {
+                            break 'work;
+                        }
                     }
                 }
             });

@@ -1,0 +1,118 @@
+//! Cache soundness: experiment tables must be byte-identical whether a run
+//! is computed cold, replayed from the in-process cache tier, or replayed
+//! from the on-disk store — at any worker count — and a corrupted cache
+//! file must fall back to recomputation, never panic and never change a
+//! table.
+//!
+//! `MOBIDIST_CACHE` (and `MOBIDIST_JOBS`) are process-global, so this
+//! binary holds exactly one `#[test]`: a second test in the same process
+//! could observe the other's environment mid-run.
+
+use mobidist_bench::{exp_group, exp_mutex};
+use mobidist_runcache::{store, CACHE_ENV};
+use std::fs;
+use std::path::{Path, PathBuf};
+
+/// Renders the four pinned quick tables (E1, E2, E5, E11) to one string.
+fn tables() -> String {
+    format!(
+        "{}{}{}{}",
+        exp_mutex::e1_lamport(true),
+        exp_mutex::e2_ring(true),
+        exp_group::e5_group_strategies(true),
+        exp_group::e11_exactly_once(true),
+    )
+}
+
+/// Every record file in the sharded cache directory.
+fn record_files(dir: &Path) -> Vec<PathBuf> {
+    let mut out = Vec::new();
+    for shard in fs::read_dir(dir).expect("read cache dir") {
+        let shard = shard.expect("shard entry").path();
+        if !shard.is_dir() {
+            continue;
+        }
+        for f in fs::read_dir(&shard).expect("read shard") {
+            let f = f.expect("record entry").path();
+            if f.extension().is_some_and(|e| e == "mdrc") {
+                out.push(f);
+            }
+        }
+    }
+    out.sort();
+    out
+}
+
+#[test]
+fn tables_are_byte_identical_across_cache_tiers_and_survive_corruption() {
+    let dir = std::env::temp_dir().join(format!("mobidist-cache-check-{}", std::process::id()));
+    let _ = fs::remove_dir_all(&dir);
+    fs::create_dir_all(&dir).expect("create cache dir");
+    let cache = store::global();
+
+    // Reference: cache disabled entirely.
+    std::env::remove_var(CACHE_ENV);
+    let reference = tables();
+
+    // Cold with the cache enabled: every run misses, simulates, stores.
+    std::env::set_var(CACHE_ENV, &dir);
+    cache.clear_memory();
+    let cold = tables();
+    assert_eq!(cold, reference, "cold cached run changed a table");
+    let s = cache.stats();
+    assert!(s.stores > 0, "cold pass stored nothing: {s:?}");
+    assert_eq!(s.hits(), 0, "cold pass cannot hit: {s:?}");
+
+    // Warm, in-process tier: every run replays from the memory map.
+    let warm_mem = tables();
+    assert_eq!(warm_mem, reference, "memory-tier replay changed a table");
+    let s = cache.stats();
+    assert!(s.mem_hits > 0, "warm pass never hit memory: {s:?}");
+
+    // Warm, disk tier: drop the memory map so every hit decodes a record.
+    cache.clear_memory();
+    let warm_disk = tables();
+    assert_eq!(warm_disk, reference, "disk-tier replay changed a table");
+    let s = cache.stats();
+    assert!(s.disk_hits > 0, "warm pass never hit disk: {s:?}");
+
+    // Warm replay under parallel fan-out: workers share the same cache.
+    std::env::set_var("MOBIDIST_JOBS", "3");
+    cache.clear_memory();
+    let warm_par = tables();
+    std::env::remove_var("MOBIDIST_JOBS");
+    assert_eq!(warm_par, reference, "parallel replay changed a table");
+
+    // Corruption: truncate one record, garble another, replace a third
+    // with the wrong magic. All must read as misses and recompute.
+    let files = record_files(&dir);
+    assert!(
+        files.len() >= 3,
+        "expected >= 3 records, got {}",
+        files.len()
+    );
+    let bytes = fs::read(&files[0]).expect("read record");
+    fs::write(&files[0], &bytes[..bytes.len() / 2]).expect("truncate record");
+    let mut garbled = fs::read(&files[1]).expect("read record");
+    let mid = garbled.len() / 2;
+    garbled[mid] ^= 0xff;
+    fs::write(&files[1], &garbled).expect("garble record");
+    fs::write(&files[2], b"not a cache record at all").expect("replace record");
+    let corrupt_before = cache.stats().corrupt;
+    cache.clear_memory();
+    let after_corruption = tables();
+    assert_eq!(after_corruption, reference, "corruption changed a table");
+    let s = cache.stats();
+    assert!(
+        s.corrupt >= corrupt_before + 3,
+        "corrupted records not detected: {s:?}"
+    );
+
+    // The recompute overwrote the bad records: one more pass is all hits.
+    cache.clear_memory();
+    let healed = tables();
+    assert_eq!(healed, reference, "healed cache changed a table");
+
+    std::env::remove_var(CACHE_ENV);
+    let _ = fs::remove_dir_all(&dir);
+}

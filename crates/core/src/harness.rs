@@ -30,6 +30,25 @@ pub struct WorkloadConfig {
     pub doze_when_idle: bool,
 }
 
+impl mobidist_net::fingerprint::CanonHash for WorkloadConfig {
+    fn canon_hash(&self, h: &mut mobidist_net::fingerprint::CanonHasher) {
+        // Destructured so a new workload knob cannot silently escape the
+        // run-cache fingerprint.
+        let WorkloadConfig {
+            requesters,
+            requests_per_mh,
+            mean_think,
+            mean_hold,
+            doze_when_idle,
+        } = self;
+        requesters.canon_hash(h);
+        requests_per_mh.canon_hash(h);
+        mean_think.canon_hash(h);
+        mean_hold.canon_hash(h);
+        doze_when_idle.canon_hash(h);
+    }
+}
+
 impl WorkloadConfig {
     /// Every one of `n` MHs issues `requests_per_mh` requests.
     pub fn all_mhs(n: usize, requests_per_mh: usize) -> Self {

@@ -334,9 +334,12 @@ impl<M: Debug + 'static, T: Debug + 'static> Kernel<M, T> {
         self.msss[mss.index()].has_local(mh)
     }
 
-    /// MHs currently local to `mss`.
-    pub fn local_mhs(&self, mss: MssId) -> Vec<MhId> {
-        self.msss[mss.index()].local.iter().collect()
+    /// MHs currently local to `mss`, in ascending id order.
+    ///
+    /// Borrows the cell's membership bitset directly — no allocation per
+    /// call; `.collect()` when a `Vec` is genuinely needed.
+    pub fn local_mhs(&self, mss: MssId) -> impl Iterator<Item = MhId> + '_ {
+        self.msss[mss.index()].local.iter()
     }
 
     /// Connectivity status of `mh`.

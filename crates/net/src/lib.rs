@@ -54,6 +54,7 @@ pub mod config;
 pub mod cost;
 pub mod error;
 pub mod event;
+pub mod fingerprint;
 pub mod hash;
 pub mod host;
 pub mod ids;

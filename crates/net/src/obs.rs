@@ -235,6 +235,17 @@ pub enum TraceEvent {
         /// The moved client MH.
         mh: MhId,
     },
+    /// The run cache satisfied this run from a stored result instead of
+    /// simulating it. Emitted (by the experiment drivers, not the kernel)
+    /// as the only event of a synthetic run whose `run_end` carries the
+    /// cached ledger; such runs are exempt from event-count identity
+    /// checks because no kernel events were replayed.
+    CacheHit {
+        /// High 64 bits of the run descriptor fingerprint.
+        fp_hi: u64,
+        /// Low 64 bits of the run descriptor fingerprint.
+        fp_lo: u64,
+    },
 }
 
 impl TraceEvent {
@@ -261,6 +272,7 @@ impl TraceEvent {
             TraceEvent::CsExit { .. } => "cs_exit",
             TraceEvent::LvUpdate { .. } => "lv_update",
             TraceEvent::ProxyForward { .. } => "proxy_forward",
+            TraceEvent::CacheHit { .. } => "cache_hit",
         }
     }
 
@@ -349,6 +361,10 @@ impl TraceEvent {
             TraceEvent::LvUpdate { cell, added } => {
                 num("cell", cell.0 as u64);
                 num("added", added as u64);
+            }
+            TraceEvent::CacheHit { fp_hi, fp_lo } => {
+                num("fp_hi", fp_hi);
+                num("fp_lo", fp_lo);
             }
         }
     }
@@ -1019,6 +1035,10 @@ pub fn parse_line(line: &str) -> Result<Line, ParseError> {
                     mss: mss(&f, "mss")?,
                     mh: mh(&f, "mh")?,
                 },
+                "cache_hit" => TraceEvent::CacheHit {
+                    fp_hi: f.num("fp_hi")?,
+                    fp_lo: f.num("fp_lo")?,
+                },
                 other => return err(format!("unknown event kind {other:?}")),
             };
             Ok(Line::Event {
@@ -1111,6 +1131,10 @@ mod tests {
             TraceEvent::ProxyForward {
                 mss: MssId(2),
                 mh: MhId(4),
+            },
+            TraceEvent::CacheHit {
+                fp_hi: u64::MAX,
+                fp_lo: 12345,
             },
         ]
     }

@@ -342,8 +342,9 @@ impl<'a, M: Debug + 'static, T: Debug + 'static> Ctx<'a, M, T> {
         self.k.is_local(mss, mh)
     }
 
-    /// MHs currently local to `mss`.
-    pub fn local_mhs(&self, mss: MssId) -> Vec<MhId> {
+    /// MHs currently local to `mss`, in ascending id order (allocation-free;
+    /// `.collect()` when a `Vec` is genuinely needed).
+    pub fn local_mhs(&self, mss: MssId) -> impl Iterator<Item = MhId> + '_ {
         self.k.local_mhs(mss)
     }
 

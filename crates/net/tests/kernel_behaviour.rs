@@ -530,10 +530,16 @@ fn control_messages_do_not_pollute_algorithm_counters() {
 #[test]
 fn local_mh_lists_track_membership() {
     let mut s = sim(3, 6);
-    assert_eq!(s.kernel().local_mhs(MssId(0)), vec![MhId(0), MhId(3)]);
+    assert_eq!(
+        s.kernel().local_mhs(MssId(0)).collect::<Vec<_>>(),
+        vec![MhId(0), MhId(3)]
+    );
     s.with_ctx(|ctx, _| ctx.initiate_move(MhId(0), Some(MssId(1))));
     s.run_to_quiescence(50_000);
-    assert_eq!(s.kernel().local_mhs(MssId(0)), vec![MhId(3)]);
+    assert_eq!(
+        s.kernel().local_mhs(MssId(0)).collect::<Vec<_>>(),
+        vec![MhId(3)]
+    );
     assert!(s.kernel().is_local(MssId(1), MhId(0)));
 }
 

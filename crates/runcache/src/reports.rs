@@ -1,0 +1,121 @@
+//! [`Codec`] impls for the workspace's run-outcome report types.
+//!
+//! These live here rather than next to the types because `Codec` is this
+//! crate's trait (the orphan rule), and here rather than in the bench
+//! crate because the reports are foreign there too. Every impl
+//! destructures, so growing a report without extending its codec — which
+//! would silently drop the new field from cached results — fails to
+//! compile; shape changes must also bump
+//! [`FORMAT_VERSION`](crate::store::FORMAT_VERSION).
+
+use crate::codec::{Codec, Reader};
+use mobidist_core::harness::MutexReport;
+use mobidist_group::strategy::GroupReport;
+
+impl Codec for MutexReport {
+    fn encode(&self, out: &mut Vec<u8>) {
+        let MutexReport {
+            issued,
+            completed,
+            aborted,
+            outstanding,
+            safety_violations,
+            order_violations,
+            mean_wait,
+            p95_wait,
+        } = self;
+        issued.encode(out);
+        completed.encode(out);
+        aborted.encode(out);
+        outstanding.encode(out);
+        safety_violations.encode(out);
+        order_violations.encode(out);
+        mean_wait.encode(out);
+        p95_wait.encode(out);
+    }
+
+    fn decode(r: &mut Reader<'_>) -> Option<Self> {
+        Some(MutexReport {
+            issued: Codec::decode(r)?,
+            completed: Codec::decode(r)?,
+            aborted: Codec::decode(r)?,
+            outstanding: Codec::decode(r)?,
+            safety_violations: Codec::decode(r)?,
+            order_violations: Codec::decode(r)?,
+            mean_wait: Codec::decode(r)?,
+            p95_wait: Codec::decode(r)?,
+        })
+    }
+}
+
+impl Codec for GroupReport {
+    fn encode(&self, out: &mut Vec<u8>) {
+        let GroupReport {
+            sent,
+            member_moves,
+            expected,
+            delivered,
+            missed,
+            duplicates,
+            unexpected,
+        } = self;
+        sent.encode(out);
+        member_moves.encode(out);
+        expected.encode(out);
+        delivered.encode(out);
+        missed.encode(out);
+        duplicates.encode(out);
+        unexpected.encode(out);
+    }
+
+    fn decode(r: &mut Reader<'_>) -> Option<Self> {
+        Some(GroupReport {
+            sent: Codec::decode(r)?,
+            member_moves: Codec::decode(r)?,
+            expected: Codec::decode(r)?,
+            delivered: Codec::decode(r)?,
+            missed: Codec::decode(r)?,
+            duplicates: Codec::decode(r)?,
+            unexpected: Codec::decode(r)?,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reports_round_trip() {
+        let m = MutexReport {
+            issued: 10,
+            completed: 9,
+            aborted: 1,
+            outstanding: 0,
+            safety_violations: 0,
+            order_violations: 0,
+            mean_wait: 12.5,
+            p95_wait: 40,
+        };
+        let mut bytes = Vec::new();
+        m.encode(&mut bytes);
+        let mut r = Reader::new(&bytes);
+        assert_eq!(MutexReport::decode(&mut r), Some(m));
+        assert!(r.is_empty());
+
+        let g = GroupReport {
+            sent: 8,
+            member_moves: 3,
+            expected: 56,
+            delivered: 54,
+            missed: 2,
+            duplicates: 0,
+            unexpected: 0,
+        };
+        let mut bytes = Vec::new();
+        g.encode(&mut bytes);
+        let mut r = Reader::new(&bytes);
+        assert_eq!(GroupReport::decode(&mut r), Some(g));
+        assert!(r.is_empty());
+    }
+}

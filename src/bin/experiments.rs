@@ -19,6 +19,13 @@
 //! part file; the parts are merged into `<path>` by run id when the runner
 //! exits. Tracing never changes the tables — sinks only observe. Inspect
 //! the output with `cargo run --release --bin tracereport -- <path>`.
+//!
+//! `--cache <dir>` enables the content-addressed run cache (see DESIGN.md):
+//! every deterministic simulation run is keyed by a fingerprint of its full
+//! configuration and the result is memoized in memory and under `<dir>`, so
+//! a repeated invocation replays from disk instead of re-simulating. Tables
+//! are byte-identical either way. A `cache: ...` summary line is printed to
+//! stderr at exit.
 
 use mobidist_bench::{exp_group, exp_model, exp_mutex, exp_proxy, Table};
 use std::process::ExitCode;
@@ -70,6 +77,7 @@ fn main() -> ExitCode {
     let csv = args.iter().any(|a| a == "--csv");
     let mut jobs_value: Option<String> = None;
     let mut trace_value: Option<String> = None;
+    let mut cache_value: Option<String> = None;
     let mut selected: Vec<&str> = Vec::new();
     let mut it = args.iter();
     while let Some(a) = it.next() {
@@ -93,6 +101,16 @@ fn main() -> ExitCode {
             }
         } else if let Some(v) = a.strip_prefix("--trace=") {
             trace_value = Some(v.to_string());
+        } else if a == "--cache" {
+            match it.next() {
+                Some(v) => cache_value = Some(v.clone()),
+                None => {
+                    eprintln!("--cache requires a directory");
+                    return ExitCode::FAILURE;
+                }
+            }
+        } else if let Some(v) = a.strip_prefix("--cache=") {
+            cache_value = Some(v.to_string());
         } else if !a.starts_with('-') {
             selected.push(a.as_str());
         }
@@ -113,6 +131,18 @@ fn main() -> ExitCode {
         // The sweep layer reads MOBIDIST_TRACE; see mobidist_bench::obs.
         std::env::set_var(mobidist_bench::obs::TRACE_ENV, path);
     }
+    if let Some(dir) = &cache_value {
+        if dir.is_empty() {
+            eprintln!("--cache expects a non-empty directory");
+            return ExitCode::FAILURE;
+        }
+        if let Err(e) = std::fs::create_dir_all(dir) {
+            eprintln!("--cache: cannot create '{dir}': {e}");
+            return ExitCode::FAILURE;
+        }
+        // The run layer reads MOBIDIST_CACHE; see mobidist_runcache.
+        std::env::set_var(mobidist_runcache::CACHE_ENV, dir);
+    }
 
     if list {
         print_list();
@@ -120,7 +150,8 @@ fn main() -> ExitCode {
     }
     if selected.is_empty() {
         eprintln!(
-            "usage: experiments [--quick] [--csv] [--jobs N] [--trace PATH] <e0..e11 | all>..."
+            "usage: experiments [--quick] [--csv] [--jobs N] [--trace PATH] [--cache DIR] \
+             <e0..e11 | all>..."
         );
         print_list();
         return ExitCode::FAILURE;
@@ -157,6 +188,19 @@ fn main() -> ExitCode {
                 return ExitCode::FAILURE;
             }
         }
+    }
+    if cache_value.is_some() || std::env::var_os(mobidist_runcache::CACHE_ENV).is_some() {
+        let s = mobidist_runcache::store::global().stats();
+        eprintln!(
+            "cache: hits={} (mem={} disk={}) misses={} stored={} evicted={} corrupt={}",
+            s.hits(),
+            s.mem_hits,
+            s.disk_hits,
+            s.misses,
+            s.stores,
+            s.evictions,
+            s.corrupt
+        );
     }
     ExitCode::SUCCESS
 }

@@ -124,10 +124,13 @@ fn time_ms(f: impl Fn()) -> f64 {
 type SweepFn = fn(bool) -> mobidist_bench::Table;
 
 fn sweep_matrix() -> Vec<SweepRow> {
-    // The sequential leg pins MOBIDIST_JOBS=1; the parallel leg restores the
-    // caller's setting (or unsets it) and records the worker count in effect
-    // at that moment, so `jobs` in the report always matches `par_ms`.
+    // The sequential leg pins MOBIDIST_JOBS=1; the parallel leg explicitly
+    // pins the machine's parallelism, so an inherited MOBIDIST_JOBS=1 (e.g.
+    // left over from a CI pin) can never make the "parallel" column rerun
+    // the sequential path and report `jobs: 1` with a sub-1 speedup. The
+    // recorded `jobs` is always the worker count actually used by `par_ms`.
     let caller_jobs = std::env::var("MOBIDIST_JOBS").ok();
+    let machine = std::thread::available_parallelism().map_or(1, |n| n.get());
     let mut rows = Vec::new();
     let sweeps: [(&'static str, SweepFn); 3] = [
         ("e1_quick", exp_mutex::e1_lamport),
@@ -139,10 +142,7 @@ fn sweep_matrix() -> Vec<SweepRow> {
         let seq_ms = time_ms(|| {
             f(true);
         });
-        match &caller_jobs {
-            Some(v) => std::env::set_var("MOBIDIST_JOBS", v),
-            None => std::env::remove_var("MOBIDIST_JOBS"),
-        }
+        std::env::set_var("MOBIDIST_JOBS", machine.to_string());
         let jobs = mobidist_bench::parallel::default_jobs();
         let par_ms = time_ms(|| {
             f(true);
@@ -154,7 +154,60 @@ fn sweep_matrix() -> Vec<SweepRow> {
             jobs,
         });
     }
+    match &caller_jobs {
+        Some(v) => std::env::set_var("MOBIDIST_JOBS", v),
+        None => std::env::remove_var("MOBIDIST_JOBS"),
+    }
     rows
+}
+
+/// Cold vs warm timings for the content-addressed run cache.
+struct CacheRow {
+    name: &'static str,
+    cold_ms: f64,
+    warm_disk_ms: f64,
+    warm_mem_ms: f64,
+}
+
+fn cache_matrix() -> CacheRow {
+    // Workload: the three quick sweeps back to back. Cold runs each get a
+    // fresh cache directory (so every one simulates and stores); warm-disk
+    // runs clear the in-process tier first (so every run decodes from
+    // disk); warm-memory runs replay from the in-process map. Median of 3
+    // for each leg, same protocol as `measure`.
+    let workload = || {
+        exp_mutex::e1_lamport(true);
+        exp_mutex::e2_ring(true);
+        exp_group::e5_group_strategies(true);
+    };
+    let base = std::env::temp_dir().join(format!("mobidist-perfreport-{}", std::process::id()));
+    let cache = mobidist_runcache::store::global();
+    let mut cold: Vec<f64> = (0..3)
+        .map(|i| {
+            let dir = base.join(format!("cold{i}"));
+            std::fs::create_dir_all(&dir).expect("create cache dir");
+            std::env::set_var(mobidist_runcache::CACHE_ENV, &dir);
+            cache.clear_memory();
+            let t0 = Instant::now();
+            workload();
+            t0.elapsed().as_secs_f64() * 1e3
+        })
+        .collect();
+    cold.sort_by(f64::total_cmp);
+    // The last cold directory is now fully populated; reuse it warm.
+    let warm_disk_ms = time_ms(|| {
+        cache.clear_memory();
+        workload();
+    });
+    let warm_mem_ms = time_ms(workload);
+    std::env::remove_var(mobidist_runcache::CACHE_ENV);
+    let _ = std::fs::remove_dir_all(&base);
+    CacheRow {
+        name: "quick_sweeps_e1_e2_e5",
+        cold_ms: cold[1],
+        warm_disk_ms,
+        warm_mem_ms,
+    }
 }
 
 fn json_escape_free(s: &str) -> &str {
@@ -167,7 +220,7 @@ fn json_escape_free(s: &str) -> &str {
     s
 }
 
-fn to_json(kernel: &[KernelRow], sweeps: &[SweepRow]) -> String {
+fn to_json(kernel: &[KernelRow], sweeps: &[SweepRow], cache: &CacheRow) -> String {
     let mut j = String::from("{\n  \"kernel\": [\n");
     for (i, r) in kernel.iter().enumerate() {
         let _ = writeln!(
@@ -193,11 +246,27 @@ fn to_json(kernel: &[KernelRow], sweeps: &[SweepRow]) -> String {
             if i + 1 < sweeps.len() { "," } else { "" }
         );
     }
-    j.push_str("  ]\n}\n");
+    j.push_str("  ],\n");
+    let _ = writeln!(
+        j,
+        "  \"cache\": {{\"name\": \"{}\", \"cold_ms\": {:.3}, \"warm_disk_ms\": {:.3}, \
+         \"warm_mem_ms\": {:.3}, \"disk_speedup\": {:.2}, \"mem_speedup\": {:.2}}}",
+        json_escape_free(cache.name),
+        cache.cold_ms,
+        cache.warm_disk_ms,
+        cache.warm_mem_ms,
+        cache.cold_ms / cache.warm_disk_ms,
+        cache.cold_ms / cache.warm_mem_ms,
+    );
+    j.push_str("}\n");
     j
 }
 
 fn main() {
+    // A caller-supplied cache would memoize the sweep legs and turn the
+    // seq/par timings into replay timings; the cache section manages the
+    // variable itself.
+    std::env::remove_var(mobidist_runcache::CACHE_ENV);
     println!("kernel workload matrix (median of 3 runs):");
     let kernel = kernel_matrix();
     for r in &kernel {
@@ -217,11 +286,22 @@ fn main() {
             r.seq_ms / r.par_ms
         );
     }
-    let json = to_json(&kernel, &sweeps);
+    println!("\nrun cache (cold vs warm, median of 3):");
+    let cache = cache_matrix();
+    println!(
+        "  {:<24} cold {:>8.1} ms   disk {:>8.1} ms ({:.1}x)   mem {:>8.1} ms ({:.1}x)",
+        cache.name,
+        cache.cold_ms,
+        cache.warm_disk_ms,
+        cache.cold_ms / cache.warm_disk_ms,
+        cache.warm_mem_ms,
+        cache.cold_ms / cache.warm_mem_ms,
+    );
+    let json = to_json(&kernel, &sweeps, &cache);
     std::fs::write("BENCH_kernel.json", &json).expect("write BENCH_kernel.json");
     println!("\nwrote BENCH_kernel.json");
 }
 
 fn sweeps_jobs() -> usize {
-    mobidist_bench::parallel::default_jobs()
+    std::thread::available_parallelism().map_or(1, |n| n.get())
 }
