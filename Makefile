@@ -1,6 +1,6 @@
 # Convenience targets; see ci/check.sh for the full gate.
 
-.PHONY: build test check bench perf quick tracecheck cachecheck
+.PHONY: build test check bench perf quick tracecheck cachecheck scalecheck
 
 build:
 	cargo build --workspace --release
@@ -39,3 +39,10 @@ cachecheck:
 	./target/release/experiments all --cache target/cachecheck/store > target/cachecheck/cold.txt
 	./target/release/experiments all --cache target/cachecheck/store > target/cachecheck/warm.txt
 	cmp target/cachecheck/cold.txt target/cachecheck/warm.txt
+
+# Million-host smoke on the space-sharded kernel: the E12 top-of-ladder
+# point must complete under the 8 GiB peak-RSS ceiling with real churn
+# (see DESIGN.md section 6). MOBIDIST_SHARDS / --shards picks the worker
+# count; the result is bit-identical at every choice.
+scalecheck:
+	cargo run --release --bin scalecheck

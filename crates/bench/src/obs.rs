@@ -72,6 +72,42 @@ pub fn finish_run<P: Protocol>(sim: &mut Simulation<P>) {
     let _ = sim.finish_trace();
 }
 
+/// Opens one trace sink per shard of a space-sharded run (empty when
+/// tracing is disabled).
+///
+/// Each shard records as an independent run — its own run id, a dense
+/// per-shard `seq`, and a `run_end` carrying the shard's own ledger — into
+/// its own part file, because the shards write concurrently and one append
+/// stream cannot be shared. Part suffixes draw from the same counter as
+/// per-thread worker parts, so the two namespaces never collide, and
+/// [`merge_worker_files`] folds shard parts into the final trace exactly
+/// like worker parts: grouped by run id.
+pub fn install_shard_sinks(
+    label: &str,
+    cfg: &NetworkConfig,
+    shards: usize,
+) -> Vec<Box<dyn TraceSink>> {
+    let Some(base) = trace_base() else {
+        return Vec::new();
+    };
+    let mut sinks: Vec<Box<dyn TraceSink>> = Vec::with_capacity(shards);
+    for _ in 0..shards {
+        let run = RUN_COUNTER.fetch_add(1, Ordering::Relaxed);
+        let part = WORKER_COUNTER.fetch_add(1, Ordering::Relaxed);
+        let meta = RunMeta::new(run, label, cfg);
+        let mut os = base.as_os_str().to_owned();
+        os.push(format!(".w{part}"));
+        match jsonl_file_sink(Path::new(&os), meta) {
+            Ok(sink) => sinks.push(Box::new(sink)),
+            Err(e) => {
+                eprintln!("warning: cannot open shard trace file: {e}");
+                return Vec::new();
+            }
+        }
+    }
+    sinks
+}
+
 /// Writes the trace envelope for a run served from the run cache (no-op
 /// when tracing is disabled).
 ///

@@ -1,0 +1,59 @@
+//! `MOBIDIST_SHARDS` must never change what an experiment computes.
+//!
+//! Two halves. The classic experiments (E1/E2/E5/E11) do not run on the
+//! sharded kernel at all, so the variable must be inert for them. E12
+//! does run on it, and its table must be byte-identical at every worker
+//! count — that is the determinism contract CI's shard-soundness gate
+//! enforces with `cmp` at the CLI level.
+
+use mobidist_bench::{exp_group, exp_mutex, exp_scale};
+use std::sync::Mutex;
+
+/// Serialises the tests in this file: they mutate `MOBIDIST_SHARDS`,
+/// which is process-global.
+static ENV_LOCK: Mutex<()> = Mutex::new(());
+
+fn with_shards<T>(value: Option<&str>, f: impl FnOnce() -> T) -> T {
+    let prev = std::env::var(exp_scale::SHARDS_ENV).ok();
+    match value {
+        Some(v) => std::env::set_var(exp_scale::SHARDS_ENV, v),
+        None => std::env::remove_var(exp_scale::SHARDS_ENV),
+    }
+    let out = f();
+    match prev {
+        Some(v) => std::env::set_var(exp_scale::SHARDS_ENV, v),
+        None => std::env::remove_var(exp_scale::SHARDS_ENV),
+    }
+    out
+}
+
+#[test]
+fn classic_experiments_ignore_the_shard_knob() {
+    let _guard = ENV_LOCK.lock().unwrap();
+    let render = || {
+        [
+            exp_mutex::e1_lamport(true).to_string(),
+            exp_mutex::e2_ring(true).to_string(),
+            exp_group::e5_group_strategies(true).to_string(),
+            exp_group::e11_exactly_once(true).to_string(),
+        ]
+    };
+    let unset = with_shards(None, render);
+    let sharded = with_shards(Some("4"), render);
+    assert_eq!(
+        unset, sharded,
+        "MOBIDIST_SHARDS must be inert for E1/E2/E5/E11"
+    );
+}
+
+#[test]
+fn e12_table_is_identical_at_every_shard_count() {
+    let _guard = ENV_LOCK.lock().unwrap();
+    let base = with_shards(Some("1"), || exp_scale::e12_scale_curve(true).to_string());
+    for shards in ["2", "3", "8"] {
+        let t = with_shards(Some(shards), || {
+            exp_scale::e12_scale_curve(true).to_string()
+        });
+        assert_eq!(t, base, "E12 table diverged at {shards} shards");
+    }
+}

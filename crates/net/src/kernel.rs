@@ -23,13 +23,14 @@ use crate::channel::{ChainKey, FifoChains, ReorderBuffers};
 use crate::config::{NetworkConfig, Placement};
 use crate::error::NetError;
 use crate::event::EventQueue;
-use crate::host::{MhState, MhStatus, MssState, OutMsg};
+use crate::host::{MhStatus, MssState, OutMsg};
 use crate::ids::{MhId, MssId};
 use crate::ledger::CostLedger;
 use crate::obs::{TraceEvent, TraceSink};
 use crate::proto::{ProtoEvent, Src};
 use crate::rng::SimRng;
 use crate::search::SearchPolicy;
+use crate::soa::MhSoa;
 use crate::time::SimTime;
 use crate::trace::Trace;
 use std::collections::VecDeque;
@@ -131,7 +132,10 @@ pub struct Kernel<M, T> {
     rng: SimRng,
     proto_rng: SimRng,
     msss: Vec<MssState>,
-    mhs: Vec<MhState<M>>,
+    /// Per-MH state as structure-of-arrays columns (see [`crate::soa`]):
+    /// ~3× fewer bytes per host than the old `Vec<MhState>` and cache-linear
+    /// scans of the hot columns at large populations.
+    mhs: MhSoa<M>,
     fifo: FifoChains,
     reorder: ReorderBuffers<M>,
     ledger: CostLedger,
@@ -159,7 +163,7 @@ impl<M: Debug + 'static, T: Debug + 'static> Kernel<M, T> {
             rng: SimRng::seed_from(cfg.seed),
             proto_rng: SimRng::seed_from(cfg.seed),
             msss: Vec::new(),
-            mhs: Vec::new(),
+            mhs: MhSoa::new(),
             fifo: FifoChains::new(cfg.num_mss, cfg.num_mh),
             reorder: ReorderBuffers::default(),
             ledger: CostLedger::new(cfg.num_mh),
@@ -199,18 +203,14 @@ impl<M: Debug + 'static, T: Debug + 'static> Kernel<M, T> {
             s.clear();
         }
         self.msss.resize_with(m, MssState::default);
-        self.mhs.truncate(n);
+        self.mhs.reset_to(n);
         for i in 0..n {
             let cell = match cfg.placement {
                 Placement::RoundRobin => MssId((i % m) as u32),
                 Placement::Random => MssId(place_rng.below(m as u64) as u32),
                 Placement::Clustered { cells } => MssId((i % cells.clamp(1, m)) as u32),
             };
-            if let Some(st) = self.mhs.get_mut(i) {
-                st.reset(cell, cell);
-            } else {
-                self.mhs.push(MhState::new(cell, cell));
-            }
+            self.mhs.place(i, cell, cell);
             self.msss[cell.index()].local.insert(MhId(i as u32));
         }
         self.fifo.reset_topology(m, n);
@@ -344,7 +344,7 @@ impl<M: Debug + 'static, T: Debug + 'static> Kernel<M, T> {
 
     /// Connectivity status of `mh`.
     pub fn mh_status(&self, mh: MhId) -> MhStatus {
-        self.mhs[mh.index()].status
+        self.mhs.status(mh)
     }
 
     /// True when the disconnected flag for `mh` is set at `mss`.
@@ -354,12 +354,12 @@ impl<M: Debug + 'static, T: Debug + 'static> Kernel<M, T> {
 
     /// Oracle view of the current cell of `mh`.
     pub fn current_cell(&self, mh: MhId) -> Option<MssId> {
-        self.mhs[mh.index()].cell
+        self.mhs.cell(mh)
     }
 
     /// Sets doze mode for `mh`.
     pub fn set_doze(&mut self, mh: MhId, dozing: bool) {
-        self.mhs[mh.index()].dozing = dozing;
+        self.mhs.set_dozing(mh, dozing);
     }
 
     /// True when no timed or pending protocol events remain.
@@ -427,7 +427,7 @@ impl<M: Debug + 'static, T: Debug + 'static> Kernel<M, T> {
         if !self.is_local(mss, mh) {
             return Err(NetError::NotLocal { mss, mh });
         }
-        let epoch = self.mhs[mh.index()].epoch;
+        let epoch = self.mhs.epoch(mh);
         self.schedule_down(mss, mh, epoch, DownMode::Local, msg);
         Ok(())
     }
@@ -453,8 +453,8 @@ impl<M: Debug + 'static, T: Debug + 'static> Kernel<M, T> {
         self.emit(|| TraceEvent::CellBroadcast { mss, listeners });
         let lat = self.cfg.latency.wireless.sample(&mut self.rng);
         for mh in &locals {
-            let epoch = self.mhs[mh.index()].epoch;
-            self.mhs[mh.index()].down_sent += 1;
+            let epoch = self.mhs.epoch(*mh);
+            self.mhs.incr_down_sent(*mh);
             let at = self.fifo.schedule(ChainKey::Down(mss, *mh), self.now + lat);
             self.queue.push(
                 at,
@@ -479,14 +479,14 @@ impl<M: Debug + 'static, T: Debug + 'static> Kernel<M, T> {
     ///
     /// [`NetError::Disconnected`] when `mh` has disconnected.
     pub fn send_wireless_up(&mut self, mh: MhId, msg: M) -> Result<(), NetError> {
-        match self.mhs[mh.index()].status {
+        match self.mhs.status(mh) {
             MhStatus::Disconnected => Err(NetError::Disconnected { mh }),
             MhStatus::BetweenCells => {
-                self.mhs[mh.index()].outbox.push_back(OutMsg::Plain(msg));
+                self.mhs.push_outbox(mh, OutMsg::Plain(msg));
                 Ok(())
             }
             MhStatus::Connected => {
-                let mss = self.mhs[mh.index()].cell.expect("connected MH has a cell");
+                let mss = self.mhs.cell(mh).expect("connected MH has a cell");
                 self.push_uplink(mh, mss, OutMsg::Plain(msg));
                 Ok(())
             }
@@ -504,19 +504,17 @@ impl<M: Debug + 'static, T: Debug + 'static> Kernel<M, T> {
     ///
     /// [`NetError::Disconnected`] when the *sender* has disconnected.
     pub fn mh_send_to_mh(&mut self, src: MhId, dst: MhId, msg: M) -> Result<(), NetError> {
-        if self.mhs[src.index()].status == MhStatus::Disconnected {
+        if self.mhs.status(src) == MhStatus::Disconnected {
             return Err(NetError::Disconnected { mh: src });
         }
         let seq = self.reorder.next_seq(src, dst);
-        match self.mhs[src.index()].status {
+        match self.mhs.status(src) {
             MhStatus::Connected => {
-                let mss = self.mhs[src.index()].cell.expect("connected MH has a cell");
+                let mss = self.mhs.cell(src).expect("connected MH has a cell");
                 self.push_uplink(src, mss, OutMsg::ToMh { dst, seq, msg });
             }
             MhStatus::BetweenCells => {
-                self.mhs[src.index()]
-                    .outbox
-                    .push_back(OutMsg::ToMh { dst, seq, msg });
+                self.mhs.push_outbox(src, OutMsg::ToMh { dst, seq, msg });
             }
             MhStatus::Disconnected => unreachable!("checked above"),
         }
@@ -533,14 +531,14 @@ impl<M: Debug + 'static, T: Debug + 'static> Kernel<M, T> {
     /// Forces `mh` to leave now and join `dest` (or a pattern-chosen cell)
     /// after the configured gap. No-op when not connected.
     pub fn initiate_move(&mut self, mh: MhId, dest: Option<MssId>) {
-        if self.mhs[mh.index()].status == MhStatus::Connected {
+        if self.mhs.status(mh) == MhStatus::Connected {
             self.do_leave(mh, dest);
         }
     }
 
     /// Forces `mh` to disconnect now. No-op when not connected.
     pub fn initiate_disconnect(&mut self, mh: MhId) {
-        if self.mhs[mh.index()].status == MhStatus::Connected {
+        if self.mhs.status(mh) == MhStatus::Connected {
             self.do_disconnect(mh, false);
         }
     }
@@ -548,12 +546,10 @@ impl<M: Debug + 'static, T: Debug + 'static> Kernel<M, T> {
     /// Forces a disconnected `mh` to reconnect at `at` (or its previous
     /// cell) after `delay` ticks. No-op when not disconnected.
     pub fn initiate_reconnect(&mut self, mh: MhId, at: Option<MssId>, delay: u64) {
-        if self.mhs[mh.index()].status != MhStatus::Disconnected {
+        if self.mhs.status(mh) != MhStatus::Disconnected {
             return;
         }
-        let dest = at
-            .or(self.mhs[mh.index()].disconnected_at)
-            .unwrap_or(MssId(0));
+        let dest = at.or(self.mhs.disconnected_at(mh)).unwrap_or(MssId(0));
         self.queue
             .push(self.now + delay.max(1), Ev::DoReconnect { mh, mss: dest });
     }
@@ -587,7 +583,7 @@ impl<M: Debug + 'static, T: Debug + 'static> Kernel<M, T> {
         self.ledger.wireless_msgs += 1;
         self.ledger.wireless_cost += self.cfg.cost.c_wireless;
         self.emit(|| TraceEvent::DownSend { mss, mh });
-        self.mhs[mh.index()].down_sent += 1;
+        self.mhs.incr_down_sent(mh);
         let lat = self.cfg.latency.wireless.sample(&mut self.rng);
         let at = self.fifo.schedule(ChainKey::Down(mss, mh), self.now + lat);
         self.queue.push(
@@ -625,8 +621,7 @@ impl<M: Debug + 'static, T: Debug + 'static> Kernel<M, T> {
             }
         };
         self.emit(|| TraceEvent::Search { target, re });
-        let st = &self.mhs[target.index()];
-        match st.status {
+        match self.mhs.status(target) {
             MhStatus::Disconnected => {
                 // The MSS where the MH disconnected answers with its status.
                 let back = self.cfg.latency.fixed.sample(&mut self.rng);
@@ -635,9 +630,10 @@ impl<M: Debug + 'static, T: Debug + 'static> Kernel<M, T> {
             MhStatus::Connected | MhStatus::BetweenCells => {
                 // Forward to the current cell, or toward the last known cell
                 // when mid-move; arrival there triggers a counted re-search.
-                let at = st
-                    .cell
-                    .or(st.prev_cell)
+                let at = self
+                    .mhs
+                    .cell(target)
+                    .or(self.mhs.prev_cell(target))
                     .expect("an MH always has a current or previous cell");
                 self.queue.push(
                     self.now + lat,
@@ -683,14 +679,13 @@ impl<M: Debug + 'static, T: Debug + 'static> Kernel<M, T> {
     }
 
     fn deliver_down(&mut self, mss: MssId, mh: MhId, epoch: u64, mode: DownMode, msg: M) {
-        let fresh = {
-            let st = &self.mhs[mh.index()];
-            st.status == MhStatus::Connected && st.cell == Some(mss) && st.epoch == epoch
-        };
+        let fresh = self.mhs.status(mh) == MhStatus::Connected
+            && self.mhs.cell(mh) == Some(mss)
+            && self.mhs.epoch(mh) == epoch;
         if fresh {
-            self.mhs[mh.index()].down_received += 1;
+            self.mhs.incr_down_received(mh);
             self.emit(|| TraceEvent::DownRecv { mh, mss });
-            if self.mhs[mh.index()].dozing {
+            if self.mhs.dozing(mh) {
                 self.ledger.doze_interruptions += 1;
                 self.emit(|| TraceEvent::DozeInterrupt { mh });
             }
@@ -786,7 +781,7 @@ impl<M: Debug + 'static, T: Debug + 'static> Kernel<M, T> {
                 msg,
             } => {
                 if self.msss[at.index()].has_local(target) {
-                    let epoch = self.mhs[target.index()].epoch;
+                    let epoch = self.mhs.epoch(target);
                     self.schedule_down(at, target, epoch, mode, msg);
                 } else if self.msss[at.index()].disconnected_here.contains(&target) {
                     let back = self.cfg.latency.fixed.sample(&mut self.rng);
@@ -810,13 +805,13 @@ impl<M: Debug + 'static, T: Debug + 'static> Kernel<M, T> {
             Ev::AutoLeave { mh } => {
                 // Leave only if still connected; moving/disconnected MHs get
                 // a fresh dwell scheduled when they next join/reconnect.
-                if self.mhs[mh.index()].status == MhStatus::Connected {
+                if self.mhs.status(mh) == MhStatus::Connected {
                     self.do_leave(mh, None);
                 }
             }
             Ev::DoJoin { mh, mss } => self.do_join(mh, mss),
             Ev::AutoDisconnect { mh } => {
-                if self.mhs[mh.index()].status == MhStatus::Connected {
+                if self.mhs.status(mh) == MhStatus::Connected {
                     self.do_disconnect(mh, true);
                 } else {
                     let d = self.rng.exp_delay(self.cfg.disconnect.mean_uptime);
@@ -829,17 +824,12 @@ impl<M: Debug + 'static, T: Debug + 'static> Kernel<M, T> {
     }
 
     fn do_leave(&mut self, mh: MhId, dest: Option<MssId>) {
-        let mss;
-        {
-            let st = &mut self.mhs[mh.index()];
-            mss = st.cell.expect("connected MH has a cell");
-            st.status = MhStatus::BetweenCells;
-            st.prev_cell = Some(mss);
-            st.cell = None;
-            st.epoch += 1;
-            st.down_received = 0;
-            st.down_sent = 0;
-        }
+        let mss = self.mhs.cell(mh).expect("connected MH has a cell");
+        self.mhs.set_status(mh, MhStatus::BetweenCells);
+        self.mhs.set_prev_cell(mh, Some(mss));
+        self.mhs.set_cell(mh, None);
+        self.mhs.bump_epoch(mh);
+        self.mhs.reset_down_counts(mh);
         self.msss[mss.index()].local.remove(&mh);
         self.fifo.reset(ChainKey::Down(mss, mh));
         self.fifo.reset(ChainKey::Up(mh, mss));
@@ -849,7 +839,7 @@ impl<M: Debug + 'static, T: Debug + 'static> Kernel<M, T> {
         self.pending.push_back(ProtoEvent::Left { mh, mss });
         let gap = self.rng.exp_delay(self.cfg.mobility.mean_gap.max(1));
         let m = self.cfg.num_mss;
-        let home = self.mhs[mh.index()].home;
+        let home = self.mhs.home(mh);
         let dest = dest.unwrap_or_else(|| {
             self.cfg
                 .mobility
@@ -861,18 +851,14 @@ impl<M: Debug + 'static, T: Debug + 'static> Kernel<M, T> {
     }
 
     fn do_join(&mut self, mh: MhId, mss: MssId) {
-        let prev = self.mhs[mh.index()].prev_cell;
-        {
-            let st = &mut self.mhs[mh.index()];
-            st.cell = Some(mss);
-            st.status = MhStatus::Connected;
-            st.down_received = 0;
-            st.down_sent = 0;
-        }
+        let prev = self.mhs.prev_cell(mh);
+        self.mhs.set_cell(mh, Some(mss));
+        self.mhs.set_status(mh, MhStatus::Connected);
+        self.mhs.reset_down_counts(mh);
         self.msss[mss.index()].local.insert(mh);
         self.ledger.moves += 1;
         self.ledger.bump("control_wireless"); // join(mh-id)
-        if self.cfg.search == SearchPolicy::HomeAgent && self.mhs[mh.index()].home != mss {
+        if self.cfg.search == SearchPolicy::HomeAgent && self.mhs.home(mh) != mss {
             // The new cell registers the MH's location with its home agent.
             self.ledger.bump("ha_registrations");
             self.ledger.bump("control_fixed");
@@ -908,16 +894,12 @@ impl<M: Debug + 'static, T: Debug + 'static> Kernel<M, T> {
     }
 
     fn do_disconnect(&mut self, mh: MhId, schedule_auto_reconnect: bool) {
-        let mss;
-        {
-            let st = &mut self.mhs[mh.index()];
-            mss = st.cell.expect("connected MH has a cell");
-            st.status = MhStatus::Disconnected;
-            st.prev_cell = Some(mss);
-            st.cell = None;
-            st.epoch += 1;
-            st.disconnected_at = Some(mss);
-        }
+        let mss = self.mhs.cell(mh).expect("connected MH has a cell");
+        self.mhs.set_status(mh, MhStatus::Disconnected);
+        self.mhs.set_prev_cell(mh, Some(mss));
+        self.mhs.set_cell(mh, None);
+        self.mhs.bump_epoch(mh);
+        self.mhs.set_disconnected_at(mh, Some(mss));
         self.msss[mss.index()].local.remove(&mh);
         self.msss[mss.index()].disconnected_here.insert(mh);
         self.fifo.reset(ChainKey::Down(mss, mh));
@@ -931,7 +913,7 @@ impl<M: Debug + 'static, T: Debug + 'static> Kernel<M, T> {
         if schedule_auto_reconnect {
             let down = self.rng.exp_delay(self.cfg.disconnect.mean_downtime.max(1));
             let m = self.cfg.num_mss;
-            let home = self.mhs[mh.index()].home;
+            let home = self.mhs.home(mh);
             let dest = self
                 .cfg
                 .mobility
@@ -943,10 +925,10 @@ impl<M: Debug + 'static, T: Debug + 'static> Kernel<M, T> {
     }
 
     fn do_reconnect(&mut self, mh: MhId, mss: MssId) {
-        if self.mhs[mh.index()].status != MhStatus::Disconnected {
+        if self.mhs.status(mh) != MhStatus::Disconnected {
             return;
         }
-        let old = self.mhs[mh.index()].disconnected_at;
+        let old = self.mhs.disconnected_at(mh);
         if let Some(o) = old {
             self.msss[o.index()].disconnected_here.remove(&mh);
         }
@@ -958,19 +940,15 @@ impl<M: Debug + 'static, T: Debug + 'static> Kernel<M, T> {
             self.ledger
                 .bump_by("control_fixed", (self.cfg.num_mss as u64).saturating_sub(1));
         }
-        {
-            let st = &mut self.mhs[mh.index()];
-            st.status = MhStatus::Connected;
-            st.cell = Some(mss);
-            st.disconnected_at = None;
-            st.prev_cell = old;
-            st.down_received = 0;
-            st.down_sent = 0;
-        }
+        self.mhs.set_status(mh, MhStatus::Connected);
+        self.mhs.set_cell(mh, Some(mss));
+        self.mhs.set_disconnected_at(mh, None);
+        self.mhs.set_prev_cell(mh, old);
+        self.mhs.reset_down_counts(mh);
         self.msss[mss.index()].local.insert(mh);
         self.ledger.reconnects += 1;
         self.ledger.bump("control_wireless"); // reconnect(mh, prev)
-        if self.cfg.search == SearchPolicy::HomeAgent && self.mhs[mh.index()].home != mss {
+        if self.cfg.search == SearchPolicy::HomeAgent && self.mhs.home(mh) != mss {
             self.ledger.bump("ha_registrations");
             self.ledger.bump("control_fixed");
         }
@@ -999,16 +977,10 @@ impl<M: Debug + 'static, T: Debug + 'static> Kernel<M, T> {
     }
 
     fn flush_outbox(&mut self, mh: MhId, mss: MssId) {
-        // Take the queue wholesale and hand it back afterwards so its
-        // allocation survives the MH's cell changes instead of being
-        // rebuilt on every join/reconnect.
-        let mut msgs = std::mem::take(&mut self.mhs[mh.index()].outbox);
-        for out in msgs.drain(..) {
+        // The outbox side table only holds entries for hosts that actually
+        // buffered, so the common join flushes nothing and touches no map.
+        for out in self.mhs.take_outbox(mh) {
             self.push_uplink(mh, mss, out);
-        }
-        let st = &mut self.mhs[mh.index()];
-        if st.outbox.is_empty() {
-            st.outbox = msgs;
         }
     }
 }

@@ -216,6 +216,67 @@ impl CostLedger {
         custom.clear();
     }
 
+    /// Adds every counter of `other` into `self` (per-shard ledgers of a
+    /// space-sharded run merge into the global ledger this way; all counters
+    /// are commutative sums, so the merge order never matters).
+    ///
+    /// Destructures `self` so adding a ledger field without updating the
+    /// merge is a compile error.
+    pub fn merge(&mut self, other: &CostLedger) {
+        let CostLedger {
+            fixed_msgs,
+            wireless_msgs,
+            searches,
+            re_searches,
+            search_failures,
+            fixed_cost,
+            wireless_cost,
+            search_cost,
+            mh_tx,
+            mh_rx,
+            mh_energy,
+            doze_interruptions,
+            moves,
+            handoffs,
+            disconnects,
+            reconnects,
+            wireless_losses,
+            custom,
+        } = self;
+        *fixed_msgs += other.fixed_msgs;
+        *wireless_msgs += other.wireless_msgs;
+        *searches += other.searches;
+        *re_searches += other.re_searches;
+        *search_failures += other.search_failures;
+        *fixed_cost += other.fixed_cost;
+        *wireless_cost += other.wireless_cost;
+        *search_cost += other.search_cost;
+        let mv = |dst: &mut Vec<u64>, src: &[u64]| {
+            if dst.len() < src.len() {
+                dst.resize(src.len(), 0);
+            }
+            for (d, s) in dst.iter_mut().zip(src) {
+                *d += s;
+            }
+        };
+        mv(mh_tx, &other.mh_tx);
+        mv(mh_rx, &other.mh_rx);
+        mv(mh_energy, &other.mh_energy);
+        *doze_interruptions += other.doze_interruptions;
+        *moves += other.moves;
+        *handoffs += other.handoffs;
+        *disconnects += other.disconnects;
+        *reconnects += other.reconnects;
+        *wireless_losses += other.wireless_losses;
+        for (k, v) in &other.custom {
+            if let Some(c) = custom.get_mut(k) {
+                *c += v;
+            } else {
+                custom.insert(k.clone(), *v);
+            }
+        }
+    }
+
     /// Counter difference `self - earlier`, for measuring one phase of an
     /// experiment.
     ///
@@ -374,6 +435,41 @@ mod tests {
         assert_eq!(l, CostLedger::new(3));
         l.reset(1);
         assert_eq!(l, CostLedger::new(1));
+    }
+
+    #[test]
+    fn merge_sums_counters() {
+        let c = model();
+        let mut a = CostLedger::new(2);
+        a.charge_fixed(&c);
+        a.charge_wireless_tx(&c, MhId(0), 2);
+        a.bump("x");
+        let mut b = CostLedger::new(2);
+        b.charge_fixed_n(&c, 2);
+        b.charge_wireless_rx(&c, MhId(1), 3);
+        b.bump_by("x", 4);
+        b.bump("y");
+        b.moves += 5;
+        a.merge(&b);
+        assert_eq!(a.fixed_msgs, 3);
+        assert_eq!(a.wireless_msgs, 2);
+        assert_eq!(a.mh_tx, vec![1, 0]);
+        assert_eq!(a.mh_rx, vec![0, 1]);
+        assert_eq!(a.mh_energy, vec![2, 3]);
+        assert_eq!(a.custom("x"), 5);
+        assert_eq!(a.custom("y"), 1);
+        assert_eq!(a.moves, 5);
+    }
+
+    #[test]
+    fn merge_grows_per_mh_vectors() {
+        let c = model();
+        let mut a = CostLedger::new(1);
+        let mut b = CostLedger::new(3);
+        b.charge_wireless_tx(&c, MhId(2), 7);
+        a.merge(&b);
+        assert_eq!(a.mh_tx, vec![0, 0, 1]);
+        assert_eq!(a.mh_energy, vec![0, 0, 7]);
     }
 
     #[test]

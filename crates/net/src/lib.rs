@@ -67,7 +67,9 @@ pub mod obs;
 pub mod proto;
 pub mod rng;
 pub mod search;
+pub mod shard;
 pub mod sim;
+mod soa;
 pub mod time;
 pub mod trace;
 
@@ -86,6 +88,7 @@ pub mod prelude {
     pub use crate::proto::{Ctx, Protocol, Src};
     pub use crate::rng::SimRng;
     pub use crate::search::SearchPolicy;
+    pub use crate::shard::{run_scale, run_scale_traced, ScaleReport, ScaleSpec};
     pub use crate::sim::{SimPool, Simulation};
     pub use crate::time::SimTime;
 }

@@ -246,6 +246,28 @@ pub enum TraceEvent {
         /// Low 64 bits of the run descriptor fingerprint.
         fp_lo: u64,
     },
+    /// A conservative-sync barrier in a space-sharded run: the shard
+    /// finished a lookahead window and exchanged cross-shard traffic. The
+    /// emission time is the window-end time, so per-shard `(t, seq)` order
+    /// is preserved.
+    ShardSync {
+        /// The reporting shard.
+        shard: u32,
+        /// Zero-based window index.
+        window: u64,
+    },
+    /// A wired message was delivered out of a cross-shard mailbox. The
+    /// sharded kernel charges wired messages at *delivery*, so each
+    /// `shard_recv` represents exactly one ledger `fixed_msgs` charge —
+    /// `tracereport --check` validates that identity per shard.
+    ShardRecv {
+        /// The delivering (destination) shard.
+        shard: u32,
+        /// Source cell of the wired message.
+        from: MssId,
+        /// Destination cell.
+        to: MssId,
+    },
 }
 
 impl TraceEvent {
@@ -273,13 +295,17 @@ impl TraceEvent {
             TraceEvent::LvUpdate { .. } => "lv_update",
             TraceEvent::ProxyForward { .. } => "proxy_forward",
             TraceEvent::CacheHit { .. } => "cache_hit",
+            TraceEvent::ShardSync { .. } => "shard_sync",
+            TraceEvent::ShardRecv { .. } => "shard_recv",
         }
     }
 
     /// Number of charged fixed-network messages this event represents.
     pub fn fixed_msgs(&self) -> u64 {
         match self {
-            TraceEvent::FixedSend { .. } | TraceEvent::SearchFail { .. } => 1,
+            TraceEvent::FixedSend { .. }
+            | TraceEvent::SearchFail { .. }
+            | TraceEvent::ShardRecv { .. } => 1,
             _ => 0,
         }
     }
@@ -365,6 +391,15 @@ impl TraceEvent {
             TraceEvent::CacheHit { fp_hi, fp_lo } => {
                 num("fp_hi", fp_hi);
                 num("fp_lo", fp_lo);
+            }
+            TraceEvent::ShardSync { shard, window } => {
+                num("shard", shard as u64);
+                num("window", window);
+            }
+            TraceEvent::ShardRecv { shard, from, to } => {
+                num("shard", shard as u64);
+                num("from", from.0 as u64);
+                num("to", to.0 as u64);
             }
         }
     }
@@ -1039,6 +1074,15 @@ pub fn parse_line(line: &str) -> Result<Line, ParseError> {
                     fp_hi: f.num("fp_hi")?,
                     fp_lo: f.num("fp_lo")?,
                 },
+                "shard_sync" => TraceEvent::ShardSync {
+                    shard: f.num("shard")? as u32,
+                    window: f.num("window")?,
+                },
+                "shard_recv" => TraceEvent::ShardRecv {
+                    shard: f.num("shard")? as u32,
+                    from: mss(&f, "from")?,
+                    to: mss(&f, "to")?,
+                },
                 other => return err(format!("unknown event kind {other:?}")),
             };
             Ok(Line::Event {
@@ -1136,6 +1180,15 @@ mod tests {
                 fp_hi: u64::MAX,
                 fp_lo: 12345,
             },
+            TraceEvent::ShardSync {
+                shard: 2,
+                window: 17,
+            },
+            TraceEvent::ShardRecv {
+                shard: 1,
+                from: MssId(9),
+                to: MssId(4),
+            },
         ]
     }
 
@@ -1214,7 +1267,7 @@ mod tests {
     fn message_class_accounting_helpers() {
         let fixed: u64 = all_events().iter().map(TraceEvent::fixed_msgs).sum();
         let wireless: u64 = all_events().iter().map(TraceEvent::wireless_msgs).sum();
-        assert_eq!(fixed, 2); // fixed_send + search_fail
+        assert_eq!(fixed, 3); // fixed_send + search_fail + shard_recv
         assert_eq!(wireless, 3); // up_send + down_send + cell_broadcast
     }
 

@@ -1,0 +1,732 @@
+//! Space-sharded simulation kernel for million-host scale runs.
+//!
+//! The generic [`kernel`](crate::kernel) executes one global event queue —
+//! ideal for protocol work, but a single thread and a global total order are
+//! the wrong shape for populations six orders of magnitude above the paper's
+//! examples. This module shards the *space* of the simulation instead: the
+//! `M` MSS cells are block-partitioned across `S` workers, each worker owns
+//! the hosts currently resident in its cells, and the workers advance a
+//! shared logical clock with **conservative time synchronisation**.
+//!
+//! # Lookahead and windows
+//!
+//! The wired plane gives the sync protocol its lookahead: no influence can
+//! cross a cell boundary in less than
+//! [`LatencyModel::lower_bound`](crate::latency::LatencyModel::lower_bound)
+//! ticks (`W`). Simulated time is cut into windows `[kW, (k+1)W)`. Within a
+//! window every worker runs its own event queue independently — any event it
+//! pops was already enqueued locally, and nothing a *remote* worker does in
+//! the same window can affect it, because every cross-cell transfer sent in
+//! window `k` is timestamped `≥ (k+1)W` (all cross-cell delays are clamped
+//! to `≥ W`). At the end of each window the workers synchronise twice:
+//!
+//! 1. **process barrier** — every worker has popped all events `< (k+1)W`
+//!    and published its outgoing transfers;
+//! 2. each worker drains its own inbound mailbox into its local queue;
+//! 3. **drain barrier** — nobody starts window `k+1` (and therefore nobody
+//!    *sends* into a mailbox again) until every mailbox is drained.
+//!
+//! # Determinism
+//!
+//! A sharded run is **bit-identical at every worker count**, which the
+//! `shard_equivalence` suite pins. The induction:
+//!
+//! * per-host decisions draw from a *stateless* RNG keyed by
+//!   `(seed, host, decision counter)` — no draw interleaving exists to
+//!   depend on;
+//! * hosts interact only with the cell they occupy, and a host's entire
+//!   record travels inside its single pending event, so no two workers ever
+//!   share mutable host state;
+//! * **every** cross-cell transfer goes through a mailbox, *including*
+//!   transfers whose destination cell lives on the sending worker — the
+//!   queue/mailbox residency of any in-flight event is therefore identical
+//!   at every `S`;
+//! * mailbox drains sort by `(arrival, source cell, per-worker send seq)`
+//!   before insertion, so the commit order at a destination never depends
+//!   on thread timing;
+//! * ledger counters are commutative sums ([`CostLedger::merge`]) and the
+//!   final digest hashes per-host state in `MhId` order, so neither depends
+//!   on how hosts were partitioned.
+//!
+//! # Workload and charging
+//!
+//! The sharded kernel runs the paper's *mobility churn* workload: every MH
+//! alternates an exponential dwell in a cell with an exponential gap
+//! between cells, and each inter-cell `join(mh, prev)` makes the new MSS
+//! send one wired handoff notification back to the previous MSS. Wired
+//! messages are charged **at delivery** (the receiving worker owns the
+//! charge), and each delivery emits one
+//! [`TraceEvent::ShardRecv`] — so `tracereport --check`'s
+//! `fixed_msgs` identity holds per shard with no special casing. Leaves and
+//! joins emit the ordinary `HandoffBegin`/`HandoffEnd` events, keeping the
+//! `moves`/`handoffs` identities intact, and every window boundary emits a
+//! [`TraceEvent::ShardSync`] stamped at the window-end time so per-shard
+//! `(t, seq)` stays strictly increasing.
+//!
+//! # Memory
+//!
+//! There is no per-host array at all: a host's record (20 bytes) lives
+//! inside its one pending event, so resident state is one queue entry per
+//! host — tens of bytes — and the only allocations on the hot path are the
+//! amortised growth of queues and mailboxes, which are pooled per worker
+//! and recycled every window (`mem::swap` with a scratch buffer, never a
+//! fresh `Vec`).
+//!
+//! # Examples
+//!
+//! ```
+//! use mobidist_net::shard::{run_scale, ScaleSpec};
+//!
+//! let spec = ScaleSpec::new(8, 200).with_seed(7);
+//! let a = run_scale(&spec, 1);
+//! let b = run_scale(&spec, 4);
+//! assert_eq!(a.digest, b.digest);
+//! assert_eq!(a.ledger, b.ledger);
+//! ```
+
+use crate::cost::CostModel;
+use crate::event::EventQueue;
+use crate::fingerprint::{CanonHash, CanonHasher, Fingerprint};
+use crate::ids::{MhId, MssId};
+use crate::latency::LatencyModel;
+use crate::ledger::CostLedger;
+use crate::mobility::MovePattern;
+use crate::obs::{TraceEvent, TraceSink};
+use crate::rng::SimRng;
+use crate::time::SimTime;
+use std::sync::{Barrier, Mutex};
+
+/// Canonical description of one scale-curve run (experiment E12).
+///
+/// The worker count is deliberately **not** part of the spec: results are
+/// independent of it, so two runs of the same spec at different shard
+/// counts share one fingerprint (and one run-cache identity, were the scale
+/// experiment cached — it is not, precisely so the CI shard-soundness gate
+/// re-executes both legs).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScaleSpec {
+    /// Number of MSS cells, `M`.
+    pub num_mss: usize,
+    /// Number of mobile hosts, `N`.
+    pub num_mh: usize,
+    /// Mean ticks an MH dwells in a cell before leaving.
+    pub mean_dwell: u64,
+    /// Mean ticks an MH spends between cells (clamped to the lookahead).
+    pub mean_gap: u64,
+    /// Fixed wired MSS↔MSS latency; its lower bound is the sync lookahead.
+    pub wired_latency: u64,
+    /// How a leaving MH picks its next cell.
+    pub pattern: MovePattern,
+    /// Simulated horizon in ticks; events at or after it never execute.
+    pub horizon: u64,
+    /// Message-cost parameters for the ledger.
+    pub cost: CostModel,
+    /// Root seed; together with the other fields it fully determines the
+    /// run at every shard count.
+    pub seed: u64,
+}
+
+impl ScaleSpec {
+    /// A mobility-churn spec over `m` cells and `n` hosts with the default
+    /// dwell/gap/latency parameters used by the scale curve.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `m == 0` or `n == 0`.
+    pub fn new(m: usize, n: usize) -> Self {
+        assert!(m > 0, "at least one MSS is required");
+        assert!(n > 0, "at least one MH is required");
+        ScaleSpec {
+            num_mss: m,
+            num_mh: n,
+            mean_dwell: 500,
+            mean_gap: 20,
+            wired_latency: 5,
+            pattern: MovePattern::UniformRandom,
+            horizon: 2_000,
+            cost: CostModel::default(),
+            seed: 0,
+        }
+    }
+
+    /// Replaces the seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Replaces the simulated horizon.
+    pub fn with_horizon(mut self, horizon: u64) -> Self {
+        self.horizon = horizon;
+        self
+    }
+
+    /// Replaces the mobility dwell/gap means.
+    pub fn with_churn(mut self, mean_dwell: u64, mean_gap: u64) -> Self {
+        self.mean_dwell = mean_dwell;
+        self.mean_gap = mean_gap;
+        self
+    }
+
+    /// Replaces the move pattern.
+    pub fn with_pattern(mut self, pattern: MovePattern) -> Self {
+        self.pattern = pattern;
+        self
+    }
+
+    /// The conservative lookahead `W`: the wired plane's minimum latency,
+    /// below which no cross-cell influence can travel.
+    pub fn lookahead(&self) -> u64 {
+        LatencyModel::Fixed(self.wired_latency).lower_bound()
+    }
+
+    /// Closed-form expected move count: each host completes one move per
+    /// `mean_dwell + mean_gap` ticks on average. E12 reports measured
+    /// moves against this prediction as a model-fidelity check.
+    pub fn predicted_moves(&self) -> u64 {
+        self.num_mh as u64 * self.horizon / (self.mean_dwell + self.mean_gap).max(1)
+    }
+}
+
+impl CanonHash for ScaleSpec {
+    fn canon_hash(&self, h: &mut CanonHasher) {
+        // Destructured so a new spec field without a hash update is a
+        // compile error (the shard count is intentionally absent — it is a
+        // run parameter, not part of the spec).
+        let ScaleSpec {
+            num_mss,
+            num_mh,
+            mean_dwell,
+            mean_gap,
+            wired_latency,
+            pattern,
+            horizon,
+            cost,
+            seed,
+        } = self;
+        h.write_u64(*num_mss as u64);
+        h.write_u64(*num_mh as u64);
+        h.write_u64(*mean_dwell);
+        h.write_u64(*mean_gap);
+        h.write_u64(*wired_latency);
+        pattern.canon_hash(h);
+        h.write_u64(*horizon);
+        cost.canon_hash(h);
+        h.write_u64(*seed);
+    }
+}
+
+/// Result of one sharded scale run. Every field except
+/// [`shards`](Self::shards) is identical at every worker count.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScaleReport {
+    /// Merged cost ledger (per-shard ledgers folded with
+    /// [`CostLedger::merge`]).
+    pub ledger: CostLedger,
+    /// Simulation events executed (leaves + joins + wired deliveries).
+    pub events: u64,
+    /// Conservative-sync windows the run advanced through.
+    pub windows: u64,
+    /// Canonical digest of the complete final state — every host record
+    /// (in `MhId` order) plus every undelivered wired message.
+    pub digest: Fingerprint,
+    /// Nominal resident state footprint: one queue entry per host. The
+    /// scale curve divides this by `N` for its bytes/host column.
+    pub state_bytes: u64,
+    /// Lookahead `W` the run synchronised on.
+    pub lookahead: u64,
+    /// Worker count actually used (requested count clamped to `[1, M]`).
+    pub shards: usize,
+}
+
+/// The complete per-host state, resident inside the host's single pending
+/// event: current (or, mid-move, target) cell, home base, the stateless-RNG
+/// decision counter, and completed moves.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct HostRec {
+    id: u32,
+    home: u32,
+    cell: u32,
+    ctr: u32,
+    moves: u32,
+}
+
+/// A worker-local scheduled event.
+#[derive(Debug, Clone, Copy)]
+enum SEv {
+    /// The host leaves `rec.cell`.
+    Leave(HostRec),
+    /// The host joins `rec.cell`, arriving from cell `.1`.
+    Join(HostRec, u32),
+    /// A wired handoff notification from cell `.0` arrives at cell `.1`.
+    Wired(u32, u32),
+}
+
+/// A cross-cell message in flight between workers. `src_cell` and
+/// `src_seq` (a per-sending-worker monotone counter) make the drain order
+/// at the destination a pure function of simulation state.
+#[derive(Debug, Clone, Copy)]
+struct Transfer {
+    arrival: u64,
+    src_cell: u32,
+    src_seq: u64,
+    ev: SEv,
+}
+
+/// Block partition of cells over shards: shard `s` owns the contiguous
+/// cell range `[s*M/S, (s+1)*M/S)`, which keeps locality-pattern traffic
+/// mostly intra-worker.
+#[inline]
+fn shard_of(cell: u32, m: usize, shards: usize) -> usize {
+    cell as usize * shards / m
+}
+
+/// The stateless per-decision RNG: host id in the high seed bits, decision
+/// counter in the low bits, decorrelated by `seed_from`'s splitmix rounds.
+#[inline]
+fn decision_rng(seed: u64, id: u32, ctr: u32) -> SimRng {
+    SimRng::seed_from(seed ^ ((id as u64) << 32) ^ ctr as u64)
+}
+
+/// One resident host flattened for digesting:
+/// `(id, tag, due, cell, home, ctr, moves, prev)`.
+type HostRow = (u32, u8, u64, u32, u32, u32, u32, u32);
+
+/// Everything a worker hands back when its windows are done.
+struct ShardOut {
+    ledger: CostLedger,
+    events: u64,
+    hosts: Vec<HostRow>,
+    /// `(due, from, to)` for each undelivered wired notification.
+    wires: Vec<(u64, u32, u32)>,
+    sink: Option<Box<dyn TraceSink>>,
+}
+
+/// Runs `spec` across `shards` workers with tracing disabled.
+///
+/// See [`run_scale_traced`] for the full contract.
+pub fn run_scale(spec: &ScaleSpec, shards: usize) -> ScaleReport {
+    run_scale_traced(spec, shards, Vec::new()).0
+}
+
+/// Runs `spec` across `shards` workers, feeding each worker's trace into
+/// its own [`TraceSink`].
+///
+/// `sinks` must be empty (tracing disabled, zero per-event cost) or hold
+/// exactly one sink per *effective* worker (`shards` clamped to `[1, M]`).
+/// Each shard is recorded as an independent run — dense `seq` from 0,
+/// strictly increasing `(t, seq)`, and a `finish` carrying that shard's own
+/// ledger — so `tracereport --check` validates every shard separately. The
+/// sinks are returned after their `finish` so callers can inspect or drop
+/// (and thereby flush) them.
+///
+/// # Panics
+///
+/// Panics if `sinks` is non-empty with a length other than the effective
+/// worker count, or if a worker thread panics.
+pub fn run_scale_traced(
+    spec: &ScaleSpec,
+    shards: usize,
+    sinks: Vec<Box<dyn TraceSink>>,
+) -> (ScaleReport, Vec<Box<dyn TraceSink>>) {
+    let m = spec.num_mss;
+    let n = spec.num_mh;
+    let shards = shards.clamp(1, m);
+    assert!(
+        sinks.is_empty() || sinks.len() == shards,
+        "expected 0 or {shards} trace sinks, got {}",
+        sinks.len()
+    );
+    let w = spec.lookahead();
+    let windows = spec.horizon.div_ceil(w);
+
+    // Seed every host sequentially (host order ⇒ identical per-queue
+    // insertion order at every shard count): host h dwells in cell h mod M,
+    // then leaves. Decision 0 is the initial dwell draw.
+    let mut queues: Vec<EventQueue<SEv>> = (0..shards)
+        .map(|s| {
+            let cells = (s + 1) * m / shards - s * m / shards;
+            EventQueue::with_capacity((n * cells).div_ceil(m) + 16)
+        })
+        .collect();
+    for h in 0..n {
+        let cell = (h % m) as u32;
+        let mut rng = decision_rng(spec.seed, h as u32, 0);
+        let dwell = rng.exp_delay(spec.mean_dwell);
+        let rec = HostRec {
+            id: h as u32,
+            home: cell,
+            cell,
+            ctr: 1,
+            moves: 0,
+        };
+        queues[shard_of(cell, m, shards)].push(SimTime::from_ticks(dwell), SEv::Leave(rec));
+    }
+
+    let mailboxes: Vec<Mutex<Vec<Transfer>>> =
+        (0..shards).map(|_| Mutex::new(Vec::new())).collect();
+    let barrier = Barrier::new(shards);
+    let mailboxes = &mailboxes;
+    let barrier = &barrier;
+
+    let mut slots: Vec<Option<Box<dyn TraceSink>>> = if sinks.is_empty() {
+        (0..shards).map(|_| None).collect()
+    } else {
+        sinks.into_iter().map(Some).collect()
+    };
+
+    let mut outs: Vec<ShardOut> = std::thread::scope(|scope| {
+        let handles: Vec<_> = queues
+            .drain(..)
+            .zip(slots.drain(..))
+            .enumerate()
+            .map(|(shard, (queue, sink))| {
+                scope.spawn(move || {
+                    run_shard(
+                        spec, shard, shards, w, windows, queue, mailboxes, barrier, sink,
+                    )
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("shard worker panicked"))
+            .collect()
+    });
+
+    // Merge: ledgers are commutative sums; the digest hashes hosts in MhId
+    // order and wires in (due, from, to) order, so neither depends on the
+    // partition.
+    let mut ledger = CostLedger::new(0);
+    let mut events = 0;
+    let mut hosts = Vec::with_capacity(n);
+    let mut wires = Vec::new();
+    let mut done_sinks = Vec::new();
+    for out in &mut outs {
+        ledger.merge(&out.ledger);
+        events += out.events;
+        hosts.append(&mut out.hosts);
+        wires.append(&mut out.wires);
+        if let Some(s) = out.sink.take() {
+            done_sinks.push(s);
+        }
+    }
+    hosts.sort_unstable();
+    wires.sort_unstable();
+    debug_assert_eq!(hosts.len(), n, "every host must appear exactly once");
+
+    let mut hasher = CanonHasher::new();
+    hasher.write_u64(hosts.len() as u64);
+    for &(id, tag, due, cell, home, ctr, moves, prev) in &hosts {
+        for v in [id as u64, tag as u64, due, cell as u64, home as u64] {
+            hasher.write_u64(v);
+        }
+        hasher.write_u64(ctr as u64);
+        hasher.write_u64(moves as u64);
+        hasher.write_u64(prev as u64);
+    }
+    hasher.write_u64(wires.len() as u64);
+    for &(due, from, to) in &wires {
+        hasher.write_u64(due);
+        hasher.write_u64(from as u64);
+        hasher.write_u64(to as u64);
+    }
+
+    let entry = std::mem::size_of::<SEv>() + 2 * std::mem::size_of::<u64>();
+    let report = ScaleReport {
+        ledger,
+        events,
+        windows,
+        digest: hasher.finish(),
+        state_bytes: n as u64 * entry as u64,
+        lookahead: w,
+        shards,
+    };
+    (report, done_sinks)
+}
+
+/// One worker: processes its cells' events window by window, exchanging
+/// cross-cell transfers at the double barrier.
+#[allow(clippy::too_many_arguments)]
+fn run_shard(
+    spec: &ScaleSpec,
+    shard: usize,
+    shards: usize,
+    w: u64,
+    windows: u64,
+    mut queue: EventQueue<SEv>,
+    mailboxes: &[Mutex<Vec<Transfer>>],
+    barrier: &Barrier,
+    mut sink: Option<Box<dyn TraceSink>>,
+) -> ShardOut {
+    let m = spec.num_mss;
+    let mut ledger = CostLedger::new(0);
+    let mut events = 0u64;
+    let mut trace_seq = 0u64;
+    let mut send_seq = 0u64;
+    // Pooled drain scratch: swapped with the mailbox each window so the
+    // steady state allocates nothing.
+    let mut drained: Vec<Transfer> = Vec::new();
+
+    macro_rules! emit {
+        ($at:expr, $ev:expr) => {
+            if let Some(s) = sink.as_deref_mut() {
+                s.record($at, trace_seq, &$ev);
+                trace_seq += 1;
+            }
+        };
+    }
+    macro_rules! send {
+        ($dst_cell:expr, $arrival:expr, $src_cell:expr, $sev:expr) => {{
+            let tr = Transfer {
+                arrival: $arrival,
+                src_cell: $src_cell,
+                src_seq: send_seq,
+                ev: $sev,
+            };
+            send_seq += 1;
+            mailboxes[shard_of($dst_cell, m, shards)]
+                .lock()
+                .expect("mailbox poisoned")
+                .push(tr);
+        }};
+    }
+
+    for k in 0..windows {
+        let end = ((k + 1) * w).min(spec.horizon);
+        let limit = SimTime::from_ticks(end - 1);
+        while let Some((t, ev)) = queue.pop_if_at_or_before(limit) {
+            events += 1;
+            match ev {
+                SEv::Leave(rec) => {
+                    emit!(
+                        t,
+                        TraceEvent::HandoffBegin {
+                            mh: MhId(rec.id),
+                            from: MssId(rec.cell),
+                        }
+                    );
+                    let mut rng = decision_rng(spec.seed, rec.id, rec.ctr);
+                    let next = spec.pattern.next_cell(
+                        &mut rng,
+                        MhId(rec.id),
+                        MssId(rec.cell),
+                        m,
+                        MssId(rec.home),
+                    );
+                    // The gap clamp *is* the conservative-sync contract: a
+                    // join sent in window k may not execute before window
+                    // k+1, so no cross-cell delay may undercut W.
+                    let gap = rng.exp_delay(spec.mean_gap).max(w);
+                    let prev = rec.cell;
+                    let moved = HostRec {
+                        cell: next.0,
+                        ctr: rec.ctr + 1,
+                        ..rec
+                    };
+                    send!(next.0, t.ticks() + gap, prev, SEv::Join(moved, prev));
+                }
+                SEv::Join(mut rec, prev) => {
+                    emit!(
+                        t,
+                        TraceEvent::HandoffEnd {
+                            mh: MhId(rec.id),
+                            to: MssId(rec.cell),
+                            prev: Some(MssId(prev)),
+                        }
+                    );
+                    ledger.moves += 1;
+                    rec.moves += 1;
+                    if prev != rec.cell {
+                        // Handoff state transfer: the new MSS notifies the
+                        // previous one over the wired plane; charged at
+                        // delivery by the receiving worker.
+                        ledger.handoffs += 1;
+                        send!(prev, t.ticks() + w, rec.cell, SEv::Wired(rec.cell, prev));
+                    }
+                    let mut rng = decision_rng(spec.seed, rec.id, rec.ctr);
+                    rec.ctr += 1;
+                    let dwell = rng.exp_delay(spec.mean_dwell);
+                    queue.push(t + dwell, SEv::Leave(rec));
+                }
+                SEv::Wired(from, to) => {
+                    ledger.charge_fixed(&spec.cost);
+                    emit!(
+                        t,
+                        TraceEvent::ShardRecv {
+                            shard: shard as u32,
+                            from: MssId(from),
+                            to: MssId(to),
+                        }
+                    );
+                }
+            }
+        }
+        emit!(
+            SimTime::from_ticks(end),
+            TraceEvent::ShardSync {
+                shard: shard as u32,
+                window: k,
+            }
+        );
+
+        // Barrier 1: every worker has finished window k's sends.
+        barrier.wait();
+        {
+            let mut mb = mailboxes[shard].lock().expect("mailbox poisoned");
+            std::mem::swap(&mut *mb, &mut drained);
+        }
+        drained.sort_unstable_by_key(|tr| (tr.arrival, tr.src_cell, tr.src_seq));
+        for tr in drained.drain(..) {
+            queue.push(SimTime::from_ticks(tr.arrival), tr.ev);
+        }
+        // Barrier 2: nobody re-enters a mailbox until every drain is done.
+        barrier.wait();
+    }
+
+    // Collect the final state for the digest. Mailboxes are empty here
+    // (the last window's sends were drained at its barrier), so the queue
+    // holds every resident host and undelivered wire.
+    let mut hosts = Vec::new();
+    let mut wires = Vec::new();
+    while let Some((t, ev)) = queue.pop() {
+        match ev {
+            SEv::Leave(r) => {
+                hosts.push((r.id, 0, t.ticks(), r.cell, r.home, r.ctr, r.moves, u32::MAX))
+            }
+            SEv::Join(r, prev) => {
+                hosts.push((r.id, 1, t.ticks(), r.cell, r.home, r.ctr, r.moves, prev))
+            }
+            SEv::Wired(from, to) => wires.push((t.ticks(), from, to)),
+        }
+    }
+    if let Some(s) = sink.as_deref_mut() {
+        s.finish(&ledger);
+    }
+    ShardOut {
+        ledger,
+        events,
+        hosts,
+        wires,
+        sink,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::obs::RingSink;
+
+    fn spec() -> ScaleSpec {
+        ScaleSpec::new(16, 240)
+            .with_seed(42)
+            .with_horizon(1_500)
+            .with_churn(120, 15)
+    }
+
+    #[test]
+    fn shard_counts_agree_bit_for_bit() {
+        let spec = spec();
+        let base = run_scale(&spec, 1);
+        assert!(base.ledger.moves > 0, "churn workload must move hosts");
+        assert!(base.ledger.fixed_msgs > 0, "handoffs must cross the wire");
+        for s in [2, 3, 4, 8, 16] {
+            let r = run_scale(&spec, s);
+            assert_eq!(r.shards, s);
+            assert_eq!(r.digest, base.digest, "digest diverged at {s} shards");
+            assert_eq!(r.ledger, base.ledger, "ledger diverged at {s} shards");
+            assert_eq!(r.events, base.events, "event count diverged at {s} shards");
+        }
+    }
+
+    #[test]
+    fn reruns_are_identical() {
+        let spec = spec();
+        assert_eq!(run_scale(&spec, 4), run_scale(&spec, 4));
+    }
+
+    #[test]
+    fn shard_request_is_clamped() {
+        let spec = ScaleSpec::new(3, 30).with_seed(1);
+        let r = run_scale(&spec, 64);
+        assert_eq!(r.shards, 3);
+        assert_eq!(r.digest, run_scale(&spec, 1).digest);
+    }
+
+    #[test]
+    fn seed_and_spec_change_the_outcome() {
+        let a = run_scale(&spec(), 2);
+        let b = run_scale(&spec().with_seed(43), 2);
+        let c = run_scale(&spec().with_churn(60, 15), 2);
+        assert_ne!(a.digest, b.digest);
+        assert_ne!(a.digest, c.digest);
+    }
+
+    #[test]
+    fn ledger_charges_match_delivered_notifications() {
+        // Every wired charge is a delivered handoff notification, so
+        // fixed_msgs can never exceed handoffs, and with a horizon far past
+        // the last gap most notifications are delivered.
+        let r = run_scale(&spec(), 4);
+        assert!(r.ledger.fixed_msgs <= r.ledger.handoffs);
+        assert!(r.ledger.fixed_msgs + 64 >= r.ledger.handoffs);
+        assert_eq!(r.ledger.wireless_msgs, 0);
+    }
+
+    #[test]
+    fn traced_runs_expose_shard_events() {
+        let spec = spec();
+        let shards = 4;
+        let sinks: Vec<Box<dyn TraceSink>> = (0..shards)
+            .map(|_| Box::new(RingSink::new(1 << 20)) as Box<dyn TraceSink>)
+            .collect();
+        let (report, sinks) = run_scale_traced(&spec, shards, sinks);
+        assert_eq!(sinks.len(), shards);
+        let mut syncs = 0;
+        let mut recvs = 0;
+        let mut ends = 0;
+        for s in &sinks {
+            let ring = s.as_any().downcast_ref::<RingSink>().expect("ring sink");
+            syncs += ring.count_kind("shard_sync");
+            recvs += ring.count_kind("shard_recv");
+            ends += ring.count_kind("handoff_end");
+        }
+        assert_eq!(syncs as u64, report.windows * shards as u64);
+        assert_eq!(recvs as u64, report.ledger.fixed_msgs);
+        assert_eq!(ends as u64, report.ledger.moves);
+        // Tracing must not perturb the simulation.
+        assert_eq!(report.digest, run_scale(&spec, 1).digest);
+    }
+
+    #[test]
+    fn spec_fingerprint_ignores_nothing_it_should_hash() {
+        let base = Fingerprint::of(&spec());
+        assert_eq!(base, Fingerprint::of(&spec()));
+        assert_ne!(base, Fingerprint::of(&spec().with_seed(43)));
+        assert_ne!(base, Fingerprint::of(&spec().with_horizon(1_600)));
+        assert_ne!(
+            base,
+            Fingerprint::of(&ScaleSpec {
+                wired_latency: 6,
+                ..spec()
+            })
+        );
+    }
+
+    #[test]
+    fn predicted_moves_track_measured_moves() {
+        let spec = ScaleSpec::new(32, 2_000)
+            .with_seed(9)
+            .with_horizon(3_000)
+            .with_churn(300, 20);
+        let r = run_scale(&spec, 4);
+        let predicted = spec.predicted_moves();
+        let measured = r.ledger.moves;
+        let lo = predicted * 7 / 10;
+        let hi = predicted * 13 / 10;
+        assert!(
+            (lo..=hi).contains(&measured),
+            "measured {measured} outside 30% of predicted {predicted}"
+        );
+    }
+}

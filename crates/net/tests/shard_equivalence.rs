@@ -1,0 +1,98 @@
+//! Shard-count equivalence for the space-sharded kernel.
+//!
+//! The contract under test: a sharded run is **byte-identical** to the
+//! 1-shard run at every worker count — same ledger, same canonical
+//! final-state digest, same event count — and the spec fingerprint does
+//! not depend on the shard count (it is an execution knob, not part of
+//! the simulated world).
+
+use mobidist_net::fingerprint::{Fingerprint, KERNEL_VERSION_SALT};
+use mobidist_net::obs::{RingSink, TraceSink};
+use mobidist_net::shard::{run_scale, run_scale_traced, ScaleSpec};
+
+/// Specs spanning the shapes the equivalence must hold for: tiny cell
+/// counts (shards clamp), uneven cell/shard divisions, heavy churn, and a
+/// larger population in the E12 ladder's configuration.
+fn specs() -> Vec<ScaleSpec> {
+    vec![
+        ScaleSpec::new(2, 30).with_seed(7),
+        ScaleSpec::new(5, 100).with_seed(8).with_churn(60, 10),
+        ScaleSpec::new(64, 1_000).with_seed(1202),
+        ScaleSpec::new(128, 20_000).with_seed(1202),
+    ]
+}
+
+#[test]
+fn every_worker_count_reproduces_the_single_shard_run() {
+    for spec in specs() {
+        let base = run_scale(&spec, 1);
+        assert!(base.ledger.moves > 0, "workload must churn: {spec:?}");
+        for shards in [2, 3, 4, 8] {
+            let r = run_scale(&spec, shards);
+            assert_eq!(r.digest, base.digest, "digest diverged at {shards} shards");
+            assert_eq!(r.ledger, base.ledger, "ledger diverged at {shards} shards");
+            assert_eq!(
+                r.events, base.events,
+                "event count diverged at {shards} shards"
+            );
+            assert_eq!(r.windows, base.windows);
+            assert_eq!(r.state_bytes, base.state_bytes);
+        }
+    }
+}
+
+#[test]
+fn spec_fingerprint_is_shard_count_free() {
+    // The fingerprint hashes the spec alone; runs at different worker
+    // counts therefore share a cache/trace identity, which is sound only
+    // because the test above holds.
+    let spec = ScaleSpec::new(64, 1_000).with_seed(1202);
+    let fp = Fingerprint::of(&spec);
+    assert_eq!(fp, Fingerprint::of(&spec));
+    let mut other = spec.clone();
+    other.seed += 1;
+    assert_ne!(fp, Fingerprint::of(&other), "seed must change the identity");
+}
+
+#[test]
+fn kernel_salt_was_bumped_for_the_sharded_kernel() {
+    // The sharded kernel changed what a fingerprint means (new experiment
+    // family, new digest layout), so the version salt must have moved off
+    // its pre-shard value exactly once.
+    assert_eq!(KERNEL_VERSION_SALT, 2);
+}
+
+#[test]
+fn traced_shard_events_reconcile_with_the_ledger() {
+    let spec = ScaleSpec::new(8, 500).with_seed(42);
+    let shards = 4;
+    let sinks: Vec<Box<dyn TraceSink>> = (0..shards)
+        .map(|_| Box::new(RingSink::new(1 << 20)) as Box<dyn TraceSink>)
+        .collect();
+    let (r, sinks) = run_scale_traced(&spec, shards, sinks);
+    assert_eq!(
+        r.digest,
+        run_scale(&spec, 1).digest,
+        "tracing must not perturb"
+    );
+
+    let mut syncs = 0;
+    let mut recvs = 0;
+    let mut ends = 0;
+    for sink in &sinks {
+        let ring = sink.as_any().downcast_ref::<RingSink>().unwrap();
+        syncs += ring.count_kind("shard_sync");
+        recvs += ring.count_kind("shard_recv");
+        ends += ring.count_kind("handoff_end");
+    }
+    assert_eq!(
+        syncs as u64,
+        r.windows * shards as u64,
+        "one sync per window per shard"
+    );
+    assert_eq!(
+        recvs as u64, r.ledger.fixed_msgs,
+        "every wired charge is traced"
+    );
+    assert_eq!(ends as u64, r.ledger.moves, "every move is traced");
+}

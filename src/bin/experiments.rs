@@ -14,6 +14,10 @@
 //! sequential path; default is the machine's available parallelism). Tables
 //! are byte-identical at every worker count.
 //!
+//! `--shards N` sets the worker count for the space-sharded kernel (E12).
+//! Sharded runs are bit-identical at every shard count — CI enforces it —
+//! so this knob trades wall-clock only.
+//!
 //! `--trace <path>` records every simulation run as structured JSONL trace
 //! events (schema in OBSERVABILITY.md). Each sweep worker writes its own
 //! part file; the parts are merged into `<path>` by run id when the runner
@@ -27,7 +31,7 @@
 //! are byte-identical either way. A `cache: ...` summary line is printed to
 //! stderr at exit.
 
-use mobidist_bench::{exp_group, exp_model, exp_mutex, exp_proxy, Table};
+use mobidist_bench::{exp_group, exp_model, exp_mutex, exp_proxy, exp_scale, Table};
 use std::process::ExitCode;
 
 const EXPERIMENTS: &[(&str, &str)] = &[
@@ -43,6 +47,7 @@ const EXPERIMENTS: &[(&str, &str)] = &[
     ("e9", "fairness guards and the malicious MH"),
     ("e10", "proxy policies vs move rate (Section 5)"),
     ("e11", "exactly-once extension under churn (ref [1])"),
+    ("e12", "space-sharded scale curve (million-host churn)"),
 ];
 
 fn run_one(name: &str, quick: bool) -> Option<Table> {
@@ -59,6 +64,7 @@ fn run_one(name: &str, quick: bool) -> Option<Table> {
         "e9" => exp_mutex::e9_fairness(quick),
         "e10" => exp_proxy::e10_proxy(quick),
         "e11" => exp_group::e11_exactly_once(quick),
+        "e12" => exp_scale::e12_scale_curve(quick),
         _ => return None,
     })
 }
@@ -78,6 +84,7 @@ fn main() -> ExitCode {
     let mut jobs_value: Option<String> = None;
     let mut trace_value: Option<String> = None;
     let mut cache_value: Option<String> = None;
+    let mut shards_value: Option<String> = None;
     let mut selected: Vec<&str> = Vec::new();
     let mut it = args.iter();
     while let Some(a) = it.next() {
@@ -111,6 +118,16 @@ fn main() -> ExitCode {
             }
         } else if let Some(v) = a.strip_prefix("--cache=") {
             cache_value = Some(v.to_string());
+        } else if a == "--shards" || a == "-s" {
+            match it.next() {
+                Some(v) => shards_value = Some(v.clone()),
+                None => {
+                    eprintln!("--shards requires a worker count");
+                    return ExitCode::FAILURE;
+                }
+            }
+        } else if let Some(v) = a.strip_prefix("--shards=") {
+            shards_value = Some(v.to_string());
         } else if !a.starts_with('-') {
             selected.push(a.as_str());
         }
@@ -122,6 +139,21 @@ fn main() -> ExitCode {
         }
         // The sweep layer reads MOBIDIST_JOBS; see mobidist_bench::parallel.
         std::env::set_var("MOBIDIST_JOBS", v);
+    }
+    if let Some(v) = shards_value {
+        if v.parse::<usize>().map(|n| n >= 1) != Ok(true) {
+            eprintln!("--shards expects a positive integer, got '{v}'");
+            return ExitCode::FAILURE;
+        }
+        // The sharded kernel reads MOBIDIST_SHARDS; see mobidist_bench::exp_scale.
+        std::env::set_var(exp_scale::SHARDS_ENV, v);
+    }
+    if trace_value.is_none() {
+        // A caller-exported MOBIDIST_TRACE behaves exactly like --trace,
+        // including the worker-part merge after the runs finish.
+        trace_value = std::env::var(mobidist_bench::obs::TRACE_ENV)
+            .ok()
+            .filter(|v| !v.is_empty());
     }
     if let Some(path) = &trace_value {
         if path.is_empty() {
@@ -150,8 +182,8 @@ fn main() -> ExitCode {
     }
     if selected.is_empty() {
         eprintln!(
-            "usage: experiments [--quick] [--csv] [--jobs N] [--trace PATH] [--cache DIR] \
-             <e0..e11 | all>..."
+            "usage: experiments [--quick] [--csv] [--jobs N] [--shards N] [--trace PATH] \
+             [--cache DIR] <e0..e12 | all>..."
         );
         print_list();
         return ExitCode::FAILURE;

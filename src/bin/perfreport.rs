@@ -3,9 +3,11 @@
 //! Runs a fixed workload matrix through the simulator — sized well above the
 //! paper-scale experiments so kernel overhead dominates — and records wall
 //! time plus events/second for each, alongside sequential-vs-parallel wall
-//! times for the quick E1/E2/E5 sweeps. Results are printed as a table and
-//! written to `BENCH_kernel.json` (hand-rolled JSON; the workspace has no
-//! serde).
+//! times for multi-seed experiment sweeps, the space-sharded scale curve
+//! (E12's ladder up to one million hosts), sharded throughput at 1/2/4/8
+//! workers, and cold-vs-warm run-cache timings. Results are printed as a
+//! table and written to `BENCH_kernel.json` (hand-rolled JSON; the
+//! workspace has no serde).
 //!
 //! ```text
 //! cargo run --release --bin perfreport
@@ -14,10 +16,12 @@
 //! Every workload is a fixed `(config, seed)` pair, so the *work done* is
 //! identical from run to run and across machines; only the wall times vary.
 
-use mobidist_bench::{exp_group, exp_mutex};
+use mobidist_bench::parallel::map_indexed_with;
+use mobidist_bench::{exp_group, exp_mutex, exp_scale};
 use mobidist_core::prelude::*;
 use mobidist_group::prelude::*;
 use mobidist_net::prelude::*;
+use mobidist_net::shard::run_scale;
 use std::fmt::Write as _;
 use std::time::Instant;
 
@@ -98,7 +102,7 @@ fn kernel_matrix() -> Vec<KernelRow> {
     ]
 }
 
-/// One sweep timed sequentially and with the default worker pool.
+/// One sweep timed sequentially and at the parallel worker count.
 struct SweepRow {
     name: &'static str,
     seq_ms: f64,
@@ -121,44 +125,169 @@ fn time_ms(f: impl Fn()) -> f64 {
     walls[1]
 }
 
-type SweepFn = fn(bool) -> mobidist_bench::Table;
+/// CPUs this process can actually use.
+fn cpus() -> usize {
+    std::thread::available_parallelism().map_or(1, |n| n.get())
+}
+
+/// Worker count for the parallel legs: the machine's parallelism, floored
+/// at 4 so the parallel path is always exercised with real fan-out.
+/// Earlier reports ran this leg at `available_parallelism` alone, which on
+/// a single-CPU runner silently degenerated to a second sequential leg
+/// (`jobs: 1` rows with ~1.0x "speedups" that said nothing about the
+/// fan-out). Every row now records the worker count actually used, and the
+/// report records `cpus`, so a ~1x speedup on a 1-CPU box reads as what it
+/// is — an oversubscription sanity check (overhead stays small) — while an
+/// N-core machine shows the real ~Nx.
+fn par_jobs() -> usize {
+    cpus().max(4)
+}
+
+/// How many seeds each sweep fans out over. Sized so the sequential leg
+/// takes on the order of a second — enough work for the fan-out to beat
+/// thread start-up and show real multi-core speedup.
+const SWEEP_SEEDS: u64 = 48;
+
+fn l2_seed_sweep(jobs: usize) {
+    let seeds: Vec<u64> = (0..SWEEP_SEEDS).collect();
+    let msgs = map_indexed_with(seeds, jobs, exp_mutex::L2Pool::new, |pool, _, seed| {
+        let cfg = NetworkConfig::new(8, 60).with_seed(1_000 + seed);
+        exp_mutex::run_l2_in(pool, cfg, 2, 4_000_000)
+            .ledger
+            .fixed_msgs
+    });
+    assert!(msgs.iter().all(|&m| m > 0), "every run must do work");
+}
+
+fn r2_seed_sweep(jobs: usize) {
+    let seeds: Vec<u64> = (0..SWEEP_SEEDS).collect();
+    let msgs = map_indexed_with(seeds, jobs, exp_mutex::R2Pool::new, |pool, _, seed| {
+        let cfg = NetworkConfig::new(8, 60).with_seed(2_000 + seed);
+        let wl = WorkloadConfig::all_mhs(60, 2);
+        let (run, _, _, _) =
+            exp_mutex::run_r2_in(pool, cfg, RingGuard::Counter, wl, 2_000_000, None);
+        run.ledger.fixed_msgs + run.ledger.wireless_msgs
+    });
+    assert!(msgs.iter().all(|&m| m > 0), "every run must do work");
+}
+
+fn group_seed_sweep(jobs: usize) {
+    let seeds: Vec<u64> = (0..SWEEP_SEEDS).collect();
+    let members: Vec<MhId> = (0..12u32).map(MhId).collect();
+    let delivered = map_indexed_with(
+        seeds,
+        jobs,
+        exp_group::StrategyPools::new,
+        |pools, _, seed| {
+            let cfg = NetworkConfig::new(8, 12)
+                .with_seed(3_000 + seed)
+                .with_mobility(MobilityConfig::moving(400));
+            let wl = GroupWorkload::new(members.clone(), 24, 60);
+            exp_group::run_strategy_in(pools, cfg, "location-view", members.clone(), wl, 2_000_000)
+                .report
+                .delivered
+        },
+    );
+    assert!(delivered.iter().all(|&d| d > 0), "every run must deliver");
+}
+
+/// A sweep leg parameterised by worker count.
+type SweepFn = fn(usize);
 
 fn sweep_matrix() -> Vec<SweepRow> {
-    // The sequential leg pins MOBIDIST_JOBS=1; the parallel leg explicitly
-    // pins the machine's parallelism, so an inherited MOBIDIST_JOBS=1 (e.g.
-    // left over from a CI pin) can never make the "parallel" column rerun
-    // the sequential path and report `jobs: 1` with a sub-1 speedup. The
-    // recorded `jobs` is always the worker count actually used by `par_ms`.
-    let caller_jobs = std::env::var("MOBIDIST_JOBS").ok();
-    let machine = std::thread::available_parallelism().map_or(1, |n| n.get());
-    let mut rows = Vec::new();
+    let jobs = par_jobs();
     let sweeps: [(&'static str, SweepFn); 3] = [
-        ("e1_quick", exp_mutex::e1_lamport),
-        ("e2_quick", exp_mutex::e2_ring),
-        ("e5_quick", exp_group::e5_group_strategies),
+        ("l2_mutex_48seeds", l2_seed_sweep),
+        ("r2_ring_48seeds", r2_seed_sweep),
+        ("location_view_48seeds", group_seed_sweep),
     ];
-    for (name, f) in sweeps {
-        std::env::set_var("MOBIDIST_JOBS", "1");
-        let seq_ms = time_ms(|| {
-            f(true);
-        });
-        std::env::set_var("MOBIDIST_JOBS", machine.to_string());
-        let jobs = mobidist_bench::parallel::default_jobs();
-        let par_ms = time_ms(|| {
-            f(true);
-        });
-        rows.push(SweepRow {
-            name,
-            seq_ms,
-            par_ms,
-            jobs,
-        });
-    }
-    match &caller_jobs {
-        Some(v) => std::env::set_var("MOBIDIST_JOBS", v),
-        None => std::env::remove_var("MOBIDIST_JOBS"),
-    }
-    rows
+    sweeps
+        .into_iter()
+        .map(|(name, f)| {
+            let seq_ms = time_ms(|| f(1));
+            let par_ms = time_ms(|| f(jobs));
+            SweepRow {
+                name,
+                seq_ms,
+                par_ms,
+                jobs,
+            }
+        })
+        .collect()
+}
+
+/// One point of the space-sharded scale curve (E12's ladder).
+struct ScaleRow {
+    hosts: usize,
+    cells: usize,
+    shards: usize,
+    events: u64,
+    wall_ms: f64,
+    events_per_sec: f64,
+    bytes_per_host: u64,
+}
+
+/// Times one sharded run: median of three (the runs dominate thread
+/// start-up at every ladder size, so no warm-up pass is needed).
+fn time_scale(spec: &mobidist_net::shard::ScaleSpec, shards: usize) -> (f64, u64, u64) {
+    let mut events = 0;
+    let mut state_bytes = 0;
+    let mut walls: Vec<f64> = (0..3)
+        .map(|_| {
+            let t0 = Instant::now();
+            let r = run_scale(spec, shards);
+            events = r.events;
+            state_bytes = r.state_bytes;
+            t0.elapsed().as_secs_f64() * 1e3
+        })
+        .collect();
+    walls.sort_by(f64::total_cmp);
+    (walls[1], events, state_bytes)
+}
+
+fn scale_matrix(shards: usize) -> Vec<ScaleRow> {
+    exp_scale::scale_points(false)
+        .into_iter()
+        .map(|(hosts, cells)| {
+            let spec = exp_scale::scale_spec(hosts, cells);
+            let (wall_ms, events, state_bytes) = time_scale(&spec, shards);
+            ScaleRow {
+                hosts,
+                cells,
+                shards: shards.min(cells),
+                events,
+                wall_ms,
+                events_per_sec: events as f64 / (wall_ms / 1e3),
+                bytes_per_host: state_bytes / hosts as u64,
+            }
+        })
+        .collect()
+}
+
+/// Sharded throughput at the top of the ladder, 1/2/4/8 workers.
+struct ShardRow {
+    shards: usize,
+    wall_ms: f64,
+    events_per_sec: f64,
+}
+
+fn shard_matrix() -> (usize, Vec<ShardRow>) {
+    let (hosts, cells) = *exp_scale::scale_points(false)
+        .last()
+        .expect("ladder is never empty");
+    let spec = exp_scale::scale_spec(hosts, cells);
+    let rows = [1usize, 2, 4, 8]
+        .into_iter()
+        .map(|shards| {
+            let (wall_ms, events, _) = time_scale(&spec, shards);
+            ShardRow {
+                shards,
+                wall_ms,
+                events_per_sec: events as f64 / (wall_ms / 1e3),
+            }
+        })
+        .collect();
+    (hosts, rows)
 }
 
 /// Cold vs warm timings for the content-addressed run cache.
@@ -220,8 +349,15 @@ fn json_escape_free(s: &str) -> &str {
     s
 }
 
-fn to_json(kernel: &[KernelRow], sweeps: &[SweepRow], cache: &CacheRow) -> String {
-    let mut j = String::from("{\n  \"kernel\": [\n");
+fn to_json(
+    kernel: &[KernelRow],
+    sweeps: &[SweepRow],
+    scale: &[ScaleRow],
+    shard_hosts: usize,
+    shard: &[ShardRow],
+    cache: &CacheRow,
+) -> String {
+    let mut j = format!("{{\n  \"cpus\": {},\n  \"kernel\": [\n", cpus());
     for (i, r) in kernel.iter().enumerate() {
         let _ = writeln!(
             j,
@@ -246,7 +382,39 @@ fn to_json(kernel: &[KernelRow], sweeps: &[SweepRow], cache: &CacheRow) -> Strin
             if i + 1 < sweeps.len() { "," } else { "" }
         );
     }
-    j.push_str("  ],\n");
+    j.push_str("  ],\n  \"scale\": [\n");
+    for (i, r) in scale.iter().enumerate() {
+        let _ = writeln!(
+            j,
+            "    {{\"hosts\": {}, \"cells\": {}, \"shards\": {}, \"events\": {}, \"wall_ms\": {:.3}, \
+             \"events_per_sec\": {:.0}, \"bytes_per_host\": {}}}{}",
+            r.hosts,
+            r.cells,
+            r.shards,
+            r.events,
+            r.wall_ms,
+            r.events_per_sec,
+            r.bytes_per_host,
+            if i + 1 < scale.len() { "," } else { "" }
+        );
+    }
+    let _ = writeln!(
+        j,
+        "  ],\n  \"shard_throughput\": {{\"hosts\": {shard_hosts}, \"rows\": ["
+    );
+    let base_rate = shard.first().map_or(1.0, |r| r.events_per_sec);
+    for (i, r) in shard.iter().enumerate() {
+        let _ = writeln!(
+            j,
+            "    {{\"shards\": {}, \"wall_ms\": {:.3}, \"events_per_sec\": {:.0}, \"speedup\": {:.2}}}{}",
+            r.shards,
+            r.wall_ms,
+            r.events_per_sec,
+            r.events_per_sec / base_rate,
+            if i + 1 < shard.len() { "," } else { "" }
+        );
+    }
+    j.push_str("  ]},\n");
     let _ = writeln!(
         j,
         "  \"cache\": {{\"name\": \"{}\", \"cold_ms\": {:.3}, \"warm_disk_ms\": {:.3}, \
@@ -265,9 +433,16 @@ fn to_json(kernel: &[KernelRow], sweeps: &[SweepRow], cache: &CacheRow) -> Strin
 fn main() {
     // A caller-supplied cache would memoize the sweep legs and turn the
     // seq/par timings into replay timings; the cache section manages the
-    // variable itself.
+    // variable itself. A caller-supplied MOBIDIST_JOBS is irrelevant: the
+    // sweep legs pass their worker counts explicitly.
     std::env::remove_var(mobidist_runcache::CACHE_ENV);
-    println!("kernel workload matrix (median of 3 runs):");
+    println!(
+        "machine: {} cpu(s) — parallel legs run at {} workers and record \
+         the true count; expect ~1x speedups on a 1-cpu runner",
+        cpus(),
+        par_jobs()
+    );
+    println!("\nkernel workload matrix (median of 3 runs):");
     let kernel = kernel_matrix();
     for r in &kernel {
         println!(
@@ -275,15 +450,40 @@ fn main() {
             r.name, r.events, r.wall_ms, r.events_per_sec
         );
     }
-    println!("\nsweep fan-out (sequential vs {} workers):", sweeps_jobs());
+    println!("\nsweep fan-out (sequential vs {} workers):", par_jobs());
     let sweeps = sweep_matrix();
     for r in &sweeps {
         println!(
-            "  {:<12} seq {:>8.1} ms   par {:>8.1} ms   speedup {:.2}x",
+            "  {:<22} seq {:>8.1} ms   par {:>8.1} ms   jobs {}   speedup {:.2}x",
             r.name,
             r.seq_ms,
             r.par_ms,
+            r.jobs,
             r.seq_ms / r.par_ms
+        );
+    }
+    println!(
+        "\nspace-sharded scale curve ({} shards, median of 3):",
+        par_jobs()
+    );
+    let scale = scale_matrix(par_jobs());
+    for r in &scale {
+        println!(
+            "  {:>9} hosts / {:>4} cells  {:>10} events  {:>9.1} ms  {:>12.0} events/s  {} B/host",
+            r.hosts, r.cells, r.events, r.wall_ms, r.events_per_sec, r.bytes_per_host
+        );
+    }
+    println!("\nsharded throughput at the top of the ladder (median of 3):");
+    let (shard_hosts, shard) = shard_matrix();
+    let base_rate = shard.first().map_or(1.0, |r| r.events_per_sec);
+    for r in &shard {
+        println!(
+            "  {} hosts @ {} shard(s)  {:>9.1} ms  {:>12.0} events/s  ({:.2}x)",
+            shard_hosts,
+            r.shards,
+            r.wall_ms,
+            r.events_per_sec,
+            r.events_per_sec / base_rate
         );
     }
     println!("\nrun cache (cold vs warm, median of 3):");
@@ -297,11 +497,7 @@ fn main() {
         cache.warm_mem_ms,
         cache.cold_ms / cache.warm_mem_ms,
     );
-    let json = to_json(&kernel, &sweeps, &cache);
+    let json = to_json(&kernel, &sweeps, &scale, shard_hosts, &shard, &cache);
     std::fs::write("BENCH_kernel.json", &json).expect("write BENCH_kernel.json");
     println!("\nwrote BENCH_kernel.json");
-}
-
-fn sweeps_jobs() -> usize {
-    std::thread::available_parallelism().map_or(1, |n| n.get())
 }

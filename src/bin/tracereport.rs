@@ -69,9 +69,12 @@ schema (version 1) — one flat JSON object per line:
     lv_update      cell, added       location-view change applied
     proxy_forward  mss, mh           proxy searched for a moved client
     cache_hit      fp_hi, fp_lo      run replayed from the run cache
+    shard_sync     shard, window     sharded kernel: window barrier crossed
+    shard_recv     shard, from, to   sharded kernel: cross-cell wired
+                                     delivery (charged as one fixed_msg)
 
 count identities checked by --check (trace-derived == ledger):
-  fixed_msgs    = fixed_send + search_fail
+  fixed_msgs    = fixed_send + search_fail + shard_recv
   wireless_msgs = up_send + down_send + cell_broadcast
   searches      = search        re_searches = search(re=1)
   moves         = handoff_end   handoffs    = handoff_end(prev≠to)
@@ -81,6 +84,10 @@ count identities checked by --check (trace-derived == ledger):
   their trace is a stub envelope (run_begin, cache_hit, run_end with the
   cached ledger), so they are exempt from the count identities. The
   envelope structure is still validated.
+  Sharded runs (`experiments e12`, `scalecheck`) write one trace part per
+  shard, merged into the output by run id; every identity above holds
+  per shard because cross-shard wired messages are charged — and traced —
+  at the delivering shard.
 ";
 
 /// Everything accumulated for one run while streaming a trace file.
