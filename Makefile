@@ -23,11 +23,12 @@ perf:
 quick:
 	cargo run --release --bin experiments -- all --quick
 
-# Capture a quick E2 trace, validate the schema, and diff the trace-derived
-# message counts against the cost ledger (see OBSERVABILITY.md).
+# Capture quick E2 + E13 traces, validate the schema, and diff the
+# trace-derived message counts against the cost ledger — including the
+# combining identity on E13's L2C cells (see OBSERVABILITY.md).
 tracecheck:
 	cargo build --release --bin experiments --bin tracereport
-	./target/release/experiments e2 --quick --trace target/tracecheck.jsonl > /dev/null
+	./target/release/experiments e2 e13 --quick --trace target/tracecheck.jsonl > /dev/null
 	./target/release/tracereport --check target/tracecheck.jsonl
 
 # Run the full sweep set twice against one cache directory and diff the

@@ -39,7 +39,7 @@ if [[ $fast -eq 0 ]]; then
   cargo test --release -q -p mobidist-bench --test trace_check
   cargo test --release -q -p mobidist-bench --test cache_check
 
-  # Cache-soundness gate: run the cacheable sweep set (e0..e11) twice
+  # Cache-soundness gate: run the cacheable sweep set (e0..e11, e13) twice
   # against one cache directory. The second pass must replay from disk —
   # byte-identical tables, a nonzero hit count, and at least a 5x
   # wall-time win. E12 is excluded on purpose: it bypasses the run cache
@@ -47,7 +47,7 @@ if [[ $fast -eq 0 ]]; then
   # dilute the timing check; the shard gate below covers it instead.
   echo "==> run-cache soundness gate"
   cargo build --release --bin experiments
-  cached_exps="e0 e1 e2 e3 e4 e5 e6 e7 e8 e9 e10 e11"
+  cached_exps="e0 e1 e2 e3 e4 e5 e6 e7 e8 e9 e10 e11 e13"
   cachedir="$(mktemp -d)"
   trap 'rm -rf "$cachedir"' EXIT
   t0=$(date +%s%N)

@@ -21,6 +21,7 @@
 
 use crate::exp_group::GroupRun;
 use crate::exp_mutex::MutexRun;
+use crate::exp_serve::ServeRun;
 use mobidist_net::config::NetworkConfig;
 use mobidist_net::fingerprint::{CanonHash, Fingerprint};
 use mobidist_net::ledger::CostLedger;
@@ -78,6 +79,45 @@ impl Codec for MutexRun {
     fn decode(r: &mut Reader<'_>) -> Option<Self> {
         Some(MutexRun {
             report: Codec::decode(r)?,
+            ledger: Codec::decode(r)?,
+        })
+    }
+}
+
+impl Codec for ServeRun {
+    fn encode(&self, out: &mut Vec<u8>) {
+        let ServeRun {
+            completed,
+            makespan,
+            p50,
+            p95,
+            p99,
+            mean_wait,
+            jain,
+            batches,
+            ledger,
+        } = self;
+        completed.encode(out);
+        makespan.encode(out);
+        p50.encode(out);
+        p95.encode(out);
+        p99.encode(out);
+        mean_wait.encode(out);
+        jain.encode(out);
+        batches.encode(out);
+        ledger.encode(out);
+    }
+
+    fn decode(r: &mut Reader<'_>) -> Option<Self> {
+        Some(ServeRun {
+            completed: Codec::decode(r)?,
+            makespan: Codec::decode(r)?,
+            p50: Codec::decode(r)?,
+            p95: Codec::decode(r)?,
+            p99: Codec::decode(r)?,
+            mean_wait: Codec::decode(r)?,
+            jain: Codec::decode(r)?,
+            batches: Codec::decode(r)?,
             ledger: Codec::decode(r)?,
         })
     }

@@ -24,6 +24,7 @@ pub mod exp_model;
 pub mod exp_mutex;
 pub mod exp_proxy;
 pub mod exp_scale;
+pub mod exp_serve;
 pub mod obs;
 pub mod parallel;
 pub mod stats;

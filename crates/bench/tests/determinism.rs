@@ -5,7 +5,7 @@
 //! input order. These tests pin both halves: identical seeds yield identical
 //! execution traces, and worker count never changes a rendered table.
 
-use mobidist_bench::{exp_group, exp_mutex};
+use mobidist_bench::{exp_group, exp_mutex, exp_serve};
 use mobidist_core::prelude::*;
 use mobidist_net::prelude::*;
 use mobidist_net::time::SimTime;
@@ -52,8 +52,16 @@ fn tables_are_byte_identical_at_any_worker_count() {
         std::env::set_var("MOBIDIST_JOBS", jobs);
         let e1 = exp_mutex::e1_lamport(true);
         let e5 = exp_group::e5_group_strategies(true);
+        let e13 = exp_serve::e13_serving(true);
         std::env::remove_var("MOBIDIST_JOBS");
-        (e1.to_string(), e1.to_csv(), e5.to_string(), e5.to_csv())
+        (
+            e1.to_string(),
+            e1.to_csv(),
+            e5.to_string(),
+            e5.to_csv(),
+            e13.to_string(),
+            e13.to_csv(),
+        )
     };
     let seq = render("1");
     let par = render("4");
@@ -67,4 +75,9 @@ fn tables_are_byte_identical_at_any_worker_count() {
         "E5 table text differs between jobs=1 and jobs=4"
     );
     assert_eq!(seq.3, par.3, "E5 CSV differs between jobs=1 and jobs=4");
+    assert_eq!(
+        seq.4, par.4,
+        "E13 table text differs between jobs=1 and jobs=4"
+    );
+    assert_eq!(seq.5, par.5, "E13 CSV differs between jobs=1 and jobs=4");
 }

@@ -6,7 +6,7 @@
 //! count — that is the determinism contract CI's shard-soundness gate
 //! enforces with `cmp` at the CLI level.
 
-use mobidist_bench::{exp_group, exp_mutex, exp_scale};
+use mobidist_bench::{exp_group, exp_mutex, exp_scale, exp_serve};
 use std::sync::Mutex;
 
 /// Serialises the tests in this file: they mutate `MOBIDIST_SHARDS`,
@@ -44,6 +44,17 @@ fn classic_experiments_ignore_the_shard_knob() {
         unset, sharded,
         "MOBIDIST_SHARDS must be inert for E1/E2/E5/E11"
     );
+}
+
+#[test]
+fn e13_ignores_the_shard_knob() {
+    // The serving benchmark runs on the classic kernel; like E1/E2/E5/E11
+    // its table must not depend on the sharded-kernel worker count.
+    let _guard = ENV_LOCK.lock().unwrap();
+    let render = || exp_serve::e13_serving(true).to_string();
+    let unset = with_shards(None, render);
+    let sharded = with_shards(Some("4"), render);
+    assert_eq!(unset, sharded, "MOBIDIST_SHARDS must be inert for E13");
 }
 
 #[test]

@@ -2,13 +2,14 @@
 //! `MOBIDIST_TRACE` never perturbs simulation results (experiment tables are
 //! byte-identical with and without it), and the emitted event stream is
 //! complete (trace-derived message counts exactly equal the cost-ledger
-//! counters recorded at `run_end`) for E1, E2, E5 and E11.
+//! counters recorded at `run_end`) for E1, E2, E5, E11 and E13 — including
+//! the combining identity: L2C batch sizes sum to the CS-entry count.
 //!
 //! Everything lives in ONE `#[test]` because `MOBIDIST_TRACE` is
 //! process-global: no other test in this binary may race on the variable.
 
 use mobidist_bench::obs::{merge_worker_files, TRACE_ENV};
-use mobidist_bench::{exp_group, exp_mutex};
+use mobidist_bench::{exp_group, exp_mutex, exp_serve};
 use mobidist_net::metrics::Metrics;
 use mobidist_net::obs::{parse_line, Line, RunMeta, RunSummary, TraceEvent};
 use std::collections::BTreeMap;
@@ -22,6 +23,7 @@ fn render_all() -> String {
         exp_mutex::e2_ring(true),
         exp_group::e5_group_strategies(true),
         exp_group::e11_exactly_once(true),
+        exp_serve::e13_serving(true),
     ] {
         out.push_str(&t.to_string());
         out.push_str(&t.to_csv());
@@ -35,6 +37,7 @@ struct Derived {
     metrics: Metrics,
     re_searches: u64,
     handoffs: u64,
+    combined: u64,
     events: u64,
     summary: Option<(RunSummary, u64)>,
 }
@@ -82,6 +85,7 @@ fn tracing_is_invisible_and_counts_match_the_ledger() {
                     TraceEvent::HandoffEnd {
                         to, prev: Some(p), ..
                     } if p != to => d.handoffs += 1,
+                    TraceEvent::CombineBatch { size, .. } => d.combined += size as u64,
                     _ => {}
                 }
             }
@@ -134,7 +138,23 @@ fn tracing_is_invisible_and_counts_match_the_ledger() {
                 "run {run} [{label}]: trace-derived {name} != ledger"
             );
         }
+        // Combining identity (E13's L2C cells): every grant is announced
+        // in exactly one batch, so the batch sizes sum to the entry count.
+        let batches = m.kind_count("combine_batch");
+        let entries = m.kind_count("cs_enter");
+        if batches > 0 && entries > 0 {
+            assert_eq!(
+                d.combined, entries,
+                "run {run} [{label}]: combine_batch sizes must sum to cs_enter"
+            );
+        }
     }
+    assert!(
+        runs.values().any(|d| {
+            d.metrics.kind_count("combine_batch") > 0 && d.metrics.kind_count("cs_enter") > 0
+        }),
+        "at least one traced run must exercise the combining identity"
+    );
 
     let _ = std::fs::remove_file(&trace);
 }

@@ -152,6 +152,19 @@ impl<'a, 'k, M: Debug + 'static, T: Debug + 'static> AlgoCtx<'a, 'k, M, T> {
         self.net.search_send(origin, mh, msg);
     }
 
+    /// Cell-wide wireless broadcast from `mss` to every local MH — one
+    /// `C_wireless` charge regardless of listeners (the lever combining
+    /// algorithms amortize batched replies over). Returns the listener
+    /// count; an empty cell sends (and charges) nothing.
+    pub fn broadcast_cell(&mut self, mss: MssId, make: impl FnMut() -> M) -> usize {
+        self.net.broadcast_cell(mss, make)
+    }
+
+    /// Emits an algorithm-level trace event (no-op without a sink).
+    pub fn emit(&mut self, ev: mobidist_net::obs::TraceEvent) {
+        self.net.emit(ev);
+    }
+
     /// MH→MH transport (`2·C_wireless + C_search`), logically FIFO.
     ///
     /// # Errors

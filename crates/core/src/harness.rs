@@ -26,6 +26,10 @@ pub struct WorkloadConfig {
     pub mean_think: u64,
     /// Mean critical-section hold time.
     pub mean_hold: u64,
+    /// Per-requester mean hold times for mixed-CS-length (fairness)
+    /// workloads: requester `i` uses `hold_profile[i % len]`. Empty means
+    /// every requester uses `mean_hold`.
+    pub hold_profile: Vec<u64>,
     /// Whether idle MHs (and non-requesters) enter doze mode.
     pub doze_when_idle: bool,
 }
@@ -39,12 +43,14 @@ impl mobidist_net::fingerprint::CanonHash for WorkloadConfig {
             requests_per_mh,
             mean_think,
             mean_hold,
+            hold_profile,
             doze_when_idle,
         } = self;
         requesters.canon_hash(h);
         requests_per_mh.canon_hash(h);
         mean_think.canon_hash(h);
         mean_hold.canon_hash(h);
+        hold_profile.canon_hash(h);
         doze_when_idle.canon_hash(h);
     }
 }
@@ -57,6 +63,7 @@ impl WorkloadConfig {
             requests_per_mh,
             mean_think: 50,
             mean_hold: 10,
+            hold_profile: Vec::new(),
             doze_when_idle: false,
         }
     }
@@ -68,6 +75,7 @@ impl WorkloadConfig {
             requests_per_mh,
             mean_think: 50,
             mean_hold: 10,
+            hold_profile: Vec::new(),
             doze_when_idle: false,
         }
     }
@@ -84,10 +92,27 @@ impl WorkloadConfig {
         self
     }
 
+    /// Sets a mixed-CS-length profile: requester `i` holds for a mean of
+    /// `profile[i % profile.len()]` ticks (empty restores the uniform
+    /// `mean_hold`).
+    pub fn with_hold_profile(mut self, profile: Vec<u64>) -> Self {
+        self.hold_profile = profile;
+        self
+    }
+
     /// Enables doze mode while idle.
     pub fn with_doze(mut self) -> Self {
         self.doze_when_idle = true;
         self
+    }
+
+    /// Mean hold time of requester index `i` under the profile.
+    pub fn hold_mean_of(&self, i: usize) -> u64 {
+        if self.hold_profile.is_empty() {
+            self.mean_hold
+        } else {
+            self.hold_profile[i % self.hold_profile.len()]
+        }
     }
 }
 
@@ -138,6 +163,9 @@ impl MutexReport {
 pub struct MutexHarness<A: MutexAlgorithm> {
     algo: A,
     wl: WorkloadConfig,
+    /// Per-MH mean hold overrides from the workload's `hold_profile`
+    /// (empty for uniform workloads).
+    hold_of: BTreeMap<MhId, u64>,
     states: BTreeMap<MhId, ReqState>,
     checker: SafetyChecker,
     effects: Vec<Effect>,
@@ -165,9 +193,19 @@ impl<A: MutexAlgorithm> MutexHarness<A> {
                 )
             })
             .collect();
+        let hold_of = if wl.hold_profile.is_empty() {
+            BTreeMap::new()
+        } else {
+            wl.requesters
+                .iter()
+                .enumerate()
+                .map(|(i, mh)| (*mh, wl.hold_mean_of(i)))
+                .collect()
+        };
         MutexHarness {
             algo,
             wl,
+            hold_of,
             states,
             checker: SafetyChecker::new(),
             effects: Vec::new(),
@@ -234,7 +272,8 @@ impl<A: MutexAlgorithm> MutexHarness<A> {
                     *st = ReqState::InCs { left };
                     self.checker.enter(mh, since, ctx.now(), key);
                     ctx.emit(TraceEvent::CsEnter { mh });
-                    let d = ctx.rng().exp_delay(self.wl.mean_hold.max(1));
+                    let mean = self.hold_of.get(&mh).copied().unwrap_or(self.wl.mean_hold);
+                    let d = ctx.rng().exp_delay(mean.max(1));
                     ctx.set_timer(d, HarnessTimer::Hold(mh));
                 }
                 Effect::Aborted { mh } => {

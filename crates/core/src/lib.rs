@@ -8,6 +8,7 @@
 //! |-----------|---------------|-----------------|
 //! | [`L1`](l1::L1)   | Lamport's algorithm on the `N` MHs | baseline: `3(N−1)(2C_w+C_s)` per execution, stalls on disconnect |
 //! | [`L2`](l2::L2)   | Lamport's algorithm at the `M` MSS proxies | redesign: constant search cost, 3 wireless msgs per execution |
+//! | [`L2C`](l2c::L2c) | flat-combining L2: each MSS batches its cell's requests into one Lamport entry | extension: `(k+1)/k` wireless msgs per execution at batch size `k` |
 //! | [`R1`](r1::R1)   | Le Lann token ring over the MHs | baseline: `N(2C_w+C_s)` per traversal regardless of demand |
 //! | [`R2`](r2::R2)   | token ring over the MSSs (plain / counter / token-list guards) | redesign: cost ∝ requests served |
 //!
@@ -40,6 +41,7 @@ pub mod checker;
 pub mod harness;
 pub mod l1;
 pub mod l2;
+pub mod l2c;
 pub mod r1;
 pub mod r2;
 
@@ -50,6 +52,7 @@ pub mod prelude {
     pub use crate::harness::{MutexHarness, MutexReport, WorkloadConfig};
     pub use crate::l1::{L1Msg, L1};
     pub use crate::l2::{L2Msg, L2};
+    pub use crate::l2c::{L2c, L2cMsg};
     pub use crate::r1::{R1DisconnectPolicy, R1Msg, R1Timer, R1};
     pub use crate::r2::{R2Msg, RingGuard, TokenState, R2};
 }

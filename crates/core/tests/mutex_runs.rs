@@ -241,6 +241,124 @@ fn l2_holder_disconnecting_releases_on_reconnect() {
     assert_eq!(r.completed, 2, "both finish after the reconnect: {r:?}");
 }
 
+// --------------------------------------------------------------- L2C ----
+
+#[test]
+fn l2c_serves_all_requests_safely_static() {
+    let n = 8;
+    let (r, sim) = run(
+        net(4, n, 1),
+        L2c::new(4),
+        WorkloadConfig::all_mhs(n, 3),
+        10_000_000,
+    );
+    assert!(r.is_clean_and_live(), "{r:?}");
+    assert_eq!(r.completed, 24);
+    assert!(sim.protocol().checker().clean());
+}
+
+#[test]
+fn l2c_respects_batch_then_index_order() {
+    let n = 8;
+    let (r, _) = run(
+        net(4, n, 11),
+        L2c::new(4),
+        WorkloadConfig::all_mhs(n, 3).with_think(20),
+        10_000_000,
+    );
+    assert_eq!(r.order_violations, 0, "grant keys must be nondecreasing");
+    assert_eq!(r.completed, 24);
+}
+
+#[test]
+fn l2c_single_execution_costs_two_wireless_messages() {
+    // One requester, static: init uplink + the batch-done cell broadcast —
+    // two charged wireless messages against L2's three, even with nothing
+    // to combine.
+    let m = 6;
+    let n = 12;
+    let wl = WorkloadConfig::only(vec![MhId(0)], 1);
+    let (r, sim) = run(net(m, n, 13), L2c::new(m), wl, 10_000_000);
+    assert!(r.is_clean_and_live());
+    assert_eq!(sim.ledger().wireless_msgs, 2);
+    assert_eq!(sim.ledger().fixed_msgs, 3 * (m as u64 - 1));
+    assert_eq!(sim.ledger().custom("combine_batches"), 1);
+    assert_eq!(sim.ledger().searches, 0, "nobody moved, nobody is searched");
+}
+
+#[test]
+fn l2c_batches_under_contention_and_beats_l2_on_wireless() {
+    // Saturated cell: every MH requests at once, repeatedly. The combiner
+    // should serve many operations per Lamport acquisition, pushing
+    // wireless messages per execution toward 1 (init) + 1/k (broadcast).
+    let n = 24;
+    let wl = WorkloadConfig::all_mhs(n, 4).with_think(5).with_hold(8);
+    let (rc, simc) = run(net(4, n, 17), L2c::new(4), wl.clone(), 10_000_000);
+    assert!(rc.is_clean_and_live(), "{rc:?}");
+    assert_eq!(rc.completed, 96);
+    let batches = simc.ledger().custom("combine_batches");
+    assert!(
+        batches * 2 < rc.completed,
+        "mean batch size must exceed 2 under saturation: {batches} batches"
+    );
+    let (rl, siml) = run(net(4, n, 17), L2::new(4), wl, 10_000_000);
+    assert_eq!(rl.completed, 96);
+    assert!(
+        simc.ledger().wireless_msgs * 2 <= siml.ledger().wireless_msgs,
+        "L2C must at least halve L2's wireless traffic under load: {} vs {}",
+        simc.ledger().wireless_msgs,
+        siml.ledger().wireless_msgs
+    );
+}
+
+#[test]
+fn l2c_works_under_heavy_mobility() {
+    let n = 10;
+    let cfg = net(5, n, 12).with_mobility(MobilityConfig::moving(150));
+    let mut sim = Simulation::new(
+        cfg,
+        MutexHarness::new(L2c::new(5), WorkloadConfig::all_mhs(n, 3)),
+    );
+    sim.run_until(SimTime::from_ticks(1_000_000));
+    let r = sim.protocol().report();
+    assert_eq!(r.safety_violations, 0);
+    assert_eq!(r.order_violations, 0);
+    assert_eq!(r.completed, 30, "{r:?}");
+}
+
+#[test]
+fn l2c_serves_members_that_disconnect_while_waiting() {
+    // In L2 a waiter's disconnection aborts its request (the grant search
+    // fails). In L2C the operation already lives at the combiner, so it is
+    // served anyway — the paper's thesis taken to its limit.
+    let n = 6;
+    let wl = WorkloadConfig::only(vec![MhId(0), MhId(1)], 1)
+        .with_think(10)
+        .with_hold(2_000);
+    let cfg = net(3, n, 15);
+    let mut sim = Simulation::new(cfg, MutexHarness::new(L2c::new(3), wl));
+    // Let both requests get collected, then disconnect one waiter.
+    sim.run_until(SimTime::from_ticks(40));
+    sim.with_ctx(|ctx, _| ctx.initiate_disconnect(MhId(0)));
+    sim.run_until(SimTime::from_ticks(10_000_000));
+    let r = sim.protocol().report();
+    assert_eq!(r.safety_violations, 0);
+    assert_eq!(r.completed, r.issued, "every collected op is served: {r:?}");
+    assert_eq!(r.outstanding, 0);
+}
+
+#[test]
+fn l2c_mixed_hold_profile_is_safe_and_live() {
+    // The fairness workload: alternating short/long critical sections.
+    let n = 8;
+    let wl = WorkloadConfig::all_mhs(n, 3)
+        .with_think(30)
+        .with_hold_profile(vec![3, 30]);
+    let (r, _) = run(net(4, n, 18), L2c::new(4), wl, 10_000_000);
+    assert!(r.is_clean_and_live(), "{r:?}");
+    assert_eq!(r.completed, 24);
+}
+
 // ---------------------------------------------------------------- R1 ----
 
 #[test]

@@ -21,8 +21,8 @@ pub use group::{
 };
 pub use mutex::{
     l1_energy_initiator, l1_energy_total, l1_execution_cost, l2_execution_cost, l2_wireless_msgs,
-    r1_energy_per_traversal, r1_traversal_cost, r2_cost, r2_max_requests_per_traversal,
-    r2_wireless_ops_per_request,
+    l2c_batch_cost, l2c_wireless_per_entry, r1_energy_per_traversal, r1_traversal_cost, r2_cost,
+    r2_max_requests_per_traversal, r2_wireless_ops_per_request,
 };
 
 /// The `(C_fixed, C_wireless, C_search)` parameter triple.

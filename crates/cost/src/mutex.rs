@@ -54,6 +54,40 @@ pub fn l2_wireless_msgs() -> u64 {
     3
 }
 
+/// **L2C** total cost of one combined batch of `k` operations at an
+/// `m`-MSS combiner: `K·C_wireless + C_wireless + 3(M−1)·C_fixed` — one
+/// init uplink per member, one result broadcast for the whole cell, and a
+/// single Lamport request/reply/release exchange amortized over the batch.
+/// (Members that move away before delivery add `C_search` each; the steady
+/// state has none.)
+///
+/// # Examples
+///
+/// ```
+/// use mobidist_cost::{l2c_batch_cost, Params};
+/// let p = Params::default();
+/// assert_eq!(l2c_batch_cost(4, 8, p), 4 * 10 + 10 + 3 * 7 * 1);
+/// ```
+pub fn l2c_batch_cost(k: u64, m: u64, p: Params) -> u64 {
+    k * p.c_wireless + p.c_wireless + 3 * m.saturating_sub(1) * p.c_fixed
+}
+
+/// **L2C** wireless messages per execution at batch size `k`:
+/// `(K + 1)/K` — each member transmits one init and the single result
+/// broadcast is shared. Approaches 1 as contention (and therefore batch
+/// size) grows; compare [`l2_wireless_msgs`]'s constant 3.
+///
+/// # Examples
+///
+/// ```
+/// use mobidist_cost::l2c_wireless_per_entry;
+/// assert_eq!(l2c_wireless_per_entry(1), 2.0);
+/// assert!(l2c_wireless_per_entry(10) < 1.2);
+/// ```
+pub fn l2c_wireless_per_entry(k: u64) -> f64 {
+    (k as f64 + 1.0) / k.max(1) as f64
+}
+
 /// **R1** cost of one full token traversal of a ring of `n` MHs:
 /// `N(2·C_wireless + C_search)` — independent of how many requests were
 /// served.
@@ -146,6 +180,30 @@ mod tests {
         }
         let factor = l1_execution_cost(100, p()) as f64 / l2_execution_cost(10, p()) as f64;
         assert!(factor > 50.0, "factor = {factor}");
+    }
+
+    #[test]
+    fn l2c_amortizes_the_lamport_exchange() {
+        let m = 8u64;
+        // A singleton batch is already cheaper than an L2 execution (no
+        // searched grant, no release uplink).
+        assert!(l2c_batch_cost(1, m, p()) < l2_execution_cost(m, p()));
+        // Per-entry cost strictly decreases with batch size.
+        let per = |k: u64| l2c_batch_cost(k, m, p()) as f64 / k as f64;
+        assert!(per(2) < per(1));
+        assert!(per(16) < per(2));
+        // In the limit only the per-member uplink remains.
+        assert!(per(10_000) < p().c_wireless as f64 + 0.1);
+    }
+
+    #[test]
+    fn l2c_wireless_per_entry_approaches_one() {
+        assert_eq!(l2c_wireless_per_entry(1), 2.0);
+        assert_eq!(l2c_wireless_per_entry(3), 4.0 / 3.0);
+        assert!(l2c_wireless_per_entry(100) < 1.02);
+        assert!(l2c_wireless_per_entry(100) > 1.0);
+        // k = 0 is degenerate but must not divide by zero.
+        assert_eq!(l2c_wireless_per_entry(0), 1.0);
     }
 
     #[test]

@@ -70,7 +70,7 @@ use crate::search::SearchPolicy;
 /// logic, default parameters. Doc, API-surface and pure-performance
 /// changes with bit-identical results keep the salt. The policy is
 /// documented in DESIGN.md ("Run cache").
-pub const KERNEL_VERSION_SALT: u64 = 2;
+pub const KERNEL_VERSION_SALT: u64 = 3;
 
 const LANE0_SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
 const LANE1_SEED: u64 = 0x9e_37_79_b9_7f_4a_7c_15;

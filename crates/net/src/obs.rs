@@ -268,6 +268,20 @@ pub enum TraceEvent {
         /// Destination cell.
         to: MssId,
     },
+    /// A combining proxy (the L2C mutex variant or a combining
+    /// `ProxyRuntime` delivery) finished one batch: `size`
+    /// client operations were served under a single logical-clock exchange /
+    /// cell broadcast. Emitted by the algorithm layer, not the kernel, so it
+    /// carries no message charge of its own — the charged operations it
+    /// amortizes appear as their own events. For L2C runs the sum of `size`
+    /// over all `combine_batch` events equals the run's `cs_enter` count
+    /// (`tracereport --check` validates that identity).
+    CombineBatch {
+        /// The combining MSS.
+        mss: MssId,
+        /// Number of client operations served in this batch.
+        size: u32,
+    },
 }
 
 impl TraceEvent {
@@ -297,6 +311,7 @@ impl TraceEvent {
             TraceEvent::CacheHit { .. } => "cache_hit",
             TraceEvent::ShardSync { .. } => "shard_sync",
             TraceEvent::ShardRecv { .. } => "shard_recv",
+            TraceEvent::CombineBatch { .. } => "combine_batch",
         }
     }
 
@@ -400,6 +415,10 @@ impl TraceEvent {
                 num("shard", shard as u64);
                 num("from", from.0 as u64);
                 num("to", to.0 as u64);
+            }
+            TraceEvent::CombineBatch { mss, size } => {
+                num("mss", mss.0 as u64);
+                num("size", size as u64);
             }
         }
     }
@@ -1083,6 +1102,10 @@ pub fn parse_line(line: &str) -> Result<Line, ParseError> {
                     from: mss(&f, "from")?,
                     to: mss(&f, "to")?,
                 },
+                "combine_batch" => TraceEvent::CombineBatch {
+                    mss: mss(&f, "mss")?,
+                    size: f.num("size")? as u32,
+                },
                 other => return err(format!("unknown event kind {other:?}")),
             };
             Ok(Line::Event {
@@ -1188,6 +1211,10 @@ mod tests {
                 shard: 1,
                 from: MssId(9),
                 to: MssId(4),
+            },
+            TraceEvent::CombineBatch {
+                mss: MssId(3),
+                size: 12,
             },
         ]
     }

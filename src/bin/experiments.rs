@@ -31,7 +31,7 @@
 //! are byte-identical either way. A `cache: ...` summary line is printed to
 //! stderr at exit.
 
-use mobidist_bench::{exp_group, exp_model, exp_mutex, exp_proxy, exp_scale, Table};
+use mobidist_bench::{exp_group, exp_model, exp_mutex, exp_proxy, exp_scale, exp_serve, Table};
 use std::process::ExitCode;
 
 const EXPERIMENTS: &[(&str, &str)] = &[
@@ -48,6 +48,7 @@ const EXPERIMENTS: &[(&str, &str)] = &[
     ("e10", "proxy policies vs move rate (Section 5)"),
     ("e11", "exactly-once extension under churn (ref [1])"),
     ("e12", "space-sharded scale curve (million-host churn)"),
+    ("e13", "heavy-traffic serving: throughput/latency/fairness"),
 ];
 
 fn run_one(name: &str, quick: bool) -> Option<Table> {
@@ -65,6 +66,7 @@ fn run_one(name: &str, quick: bool) -> Option<Table> {
         "e10" => exp_proxy::e10_proxy(quick),
         "e11" => exp_group::e11_exactly_once(quick),
         "e12" => exp_scale::e12_scale_curve(quick),
+        "e13" => exp_serve::e13_serving(quick),
         _ => return None,
     })
 }
@@ -183,7 +185,7 @@ fn main() -> ExitCode {
     if selected.is_empty() {
         eprintln!(
             "usage: experiments [--quick] [--csv] [--jobs N] [--shards N] [--trace PATH] \
-             [--cache DIR] <e0..e12 | all>..."
+             [--cache DIR] <e0..e13 | all>..."
         );
         print_list();
         return ExitCode::FAILURE;

@@ -16,8 +16,9 @@
 //! Every workload is a fixed `(config, seed)` pair, so the *work done* is
 //! identical from run to run and across machines; only the wall times vary.
 
+use mobidist_bench::exp_serve::ServingPoint;
 use mobidist_bench::parallel::map_indexed_with;
-use mobidist_bench::{exp_group, exp_mutex, exp_scale};
+use mobidist_bench::{exp_group, exp_mutex, exp_scale, exp_serve};
 use mobidist_core::prelude::*;
 use mobidist_group::prelude::*;
 use mobidist_net::prelude::*;
@@ -339,6 +340,30 @@ fn cache_matrix() -> CacheRow {
     }
 }
 
+/// The headline serving comparison (E13's largest cell): L2 vs the
+/// combining L2C at 1024 closed-loop requesters over 8 MSSs. Asserts the
+/// optimisation's contract — at saturation L2C spends at least 2x fewer
+/// wireless messages per entry without losing throughput — so a regression
+/// fails the report rather than silently shipping a worse number.
+fn serving_matrix() -> Vec<ServingPoint> {
+    let rows = exp_serve::serving_comparison(false);
+    let l2 = &rows[0];
+    let l2c = &rows[1];
+    assert!(
+        l2c.wireless_per_entry * 2.0 <= l2.wireless_per_entry,
+        "L2C must at least halve wireless per entry: {:.2} vs {:.2}",
+        l2c.wireless_per_entry,
+        l2.wireless_per_entry
+    );
+    assert!(
+        l2c.throughput_per_ktick >= l2.throughput_per_ktick,
+        "L2C must not lose throughput: {:.2} vs {:.2}",
+        l2c.throughput_per_ktick,
+        l2.throughput_per_ktick
+    );
+    rows
+}
+
 fn json_escape_free(s: &str) -> &str {
     // All names in this report are static identifiers; assert rather than
     // escape so a future rename cannot silently emit invalid JSON.
@@ -355,6 +380,7 @@ fn to_json(
     scale: &[ScaleRow],
     shard_hosts: usize,
     shard: &[ShardRow],
+    serving: &[ServingPoint],
     cache: &CacheRow,
 ) -> String {
     let mut j = format!("{{\n  \"cpus\": {},\n  \"kernel\": [\n", cpus());
@@ -417,6 +443,29 @@ fn to_json(
     j.push_str("  ]},\n");
     let _ = writeln!(
         j,
+        "  \"serving\": {{\"requesters\": {}, \"rows\": [",
+        serving.first().map_or(0, |r| r.requesters)
+    );
+    for (i, r) in serving.iter().enumerate() {
+        let _ = writeln!(
+            j,
+            "    {{\"algo\": \"{}\", \"throughput_per_ktick\": {:.2}, \"p95\": {}, \
+             \"wireless_per_entry\": {:.3}, \"mean_batch\": {:.2}}}{}",
+            json_escape_free(r.algo),
+            r.throughput_per_ktick,
+            r.p95,
+            r.wireless_per_entry,
+            r.mean_batch,
+            if i + 1 < serving.len() { "," } else { "" }
+        );
+    }
+    let wifi_reduction = match serving {
+        [l2, l2c] => l2.wireless_per_entry / l2c.wireless_per_entry,
+        _ => 0.0,
+    };
+    let _ = writeln!(j, "  ], \"wireless_reduction\": {wifi_reduction:.2}}},");
+    let _ = writeln!(
+        j,
         "  \"cache\": {{\"name\": \"{}\", \"cold_ms\": {:.3}, \"warm_disk_ms\": {:.3}, \
          \"warm_mem_ms\": {:.3}, \"disk_speedup\": {:.2}, \"mem_speedup\": {:.2}}}",
         json_escape_free(cache.name),
@@ -442,6 +491,13 @@ fn main() {
         cpus(),
         par_jobs()
     );
+    if cpus() == 1 {
+        println!(
+            "note: this host has a single cpu — parallel and sharded \
+             speedups below are not meaningful on this host; they only \
+             sanity-check that fan-out overhead stays small"
+        );
+    }
     println!("\nkernel workload matrix (median of 3 runs):");
     let kernel = kernel_matrix();
     for r in &kernel {
@@ -486,6 +542,31 @@ fn main() {
             r.events_per_sec / base_rate
         );
     }
+    println!("\nserving comparison (E13 headline cell: L2 vs combining L2C):");
+    let serving = serving_matrix();
+    for r in &serving {
+        println!(
+            "  {:<4} @ {} requesters  thr {:>7.2} /ktick  p95 {:>6}  wifi/entry {:>5.2}{}",
+            r.algo,
+            r.requesters,
+            r.throughput_per_ktick,
+            r.p95,
+            r.wireless_per_entry,
+            if r.mean_batch > 0.0 {
+                format!("  batch {:.2}", r.mean_batch)
+            } else {
+                String::new()
+            }
+        );
+    }
+    if let [l2, l2c] = &serving[..] {
+        println!(
+            "  wireless reduction {:.2}x at equal-or-better throughput ({:.2}x)",
+            l2.wireless_per_entry / l2c.wireless_per_entry,
+            l2c.throughput_per_ktick / l2.throughput_per_ktick
+        );
+    }
+
     println!("\nrun cache (cold vs warm, median of 3):");
     let cache = cache_matrix();
     println!(
@@ -497,7 +578,15 @@ fn main() {
         cache.warm_mem_ms,
         cache.cold_ms / cache.warm_mem_ms,
     );
-    let json = to_json(&kernel, &sweeps, &scale, shard_hosts, &shard, &cache);
+    let json = to_json(
+        &kernel,
+        &sweeps,
+        &scale,
+        shard_hosts,
+        &shard,
+        &serving,
+        &cache,
+    );
     std::fs::write("BENCH_kernel.json", &json).expect("write BENCH_kernel.json");
     println!("\nwrote BENCH_kernel.json");
 }

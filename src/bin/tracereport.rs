@@ -68,6 +68,8 @@ schema (version 1) — one flat JSON object per line:
     cs_exit        mh                critical section released
     lv_update      cell, added       location-view change applied
     proxy_forward  mss, mh           proxy searched for a moved client
+    combine_batch  mss, size         one cell broadcast carrying `size`
+                                     combined grants/outputs
     cache_hit      fp_hi, fp_lo      run replayed from the run cache
     shard_sync     shard, window     sharded kernel: window barrier crossed
     shard_recv     shard, from, to   sharded kernel: cross-cell wired
@@ -80,6 +82,10 @@ count identities checked by --check (trace-derived == ledger):
   moves         = handoff_end   handoffs    = handoff_end(prev≠to)
   plus search_failures, disconnects, reconnects, doze_interruptions,
   wireless_losses matching their event counts one-to-one.
+  Combining runs (label `l2c`): when a run has both `combine_batch` and
+  `cs_enter` events, the batch sizes must sum to the `cs_enter` count —
+  every grant is delivered in exactly one batch. Runs with only one of
+  the two kinds (e.g. proxy fan-out traces) skip this identity.
   Runs containing a cache_hit event were replayed from the run cache:
   their trace is a stub envelope (run_begin, cache_hit, run_end with the
   cached ledger), so they are exempt from the count identities. The
@@ -100,6 +106,8 @@ struct RunAcc {
     last: (SimTime, u64),
     re_searches: u64,
     handoffs: u64,
+    /// Sum of `combine_batch` sizes: grants/outputs delivered in batches.
+    combined_outputs: u64,
     last_fixed_send: Option<SimTime>,
     last_wireless_send: Option<SimTime>,
     fixed_gaps: Histogram,
@@ -118,6 +126,7 @@ impl RunAcc {
             last: (SimTime::ZERO, 0),
             re_searches: 0,
             handoffs: 0,
+            combined_outputs: 0,
             last_fixed_send: None,
             last_wireless_send: None,
             fixed_gaps: Histogram::default(),
@@ -153,6 +162,7 @@ impl RunAcc {
             TraceEvent::HandoffEnd {
                 to, prev: Some(p), ..
             } if p != to => self.handoffs += 1,
+            TraceEvent::CombineBatch { size, .. } => self.combined_outputs += size as u64,
             _ => {}
         }
         if ev.fixed_msgs() > 0 {
@@ -221,6 +231,18 @@ impl RunAcc {
                     "{name}: trace-derived {derived} != ledger {ledger}"
                 ));
             }
+        }
+        // Combining identity: in a mutual-exclusion run every grant is
+        // delivered in exactly one batch, so the batch sizes sum to the
+        // number of CS entries. Applies only when the run has both kinds —
+        // proxy fan-out runs batch outputs without any critical section.
+        let batches = m.kind_count("combine_batch");
+        let entries = m.kind_count("cs_enter");
+        if batches > 0 && entries > 0 && self.combined_outputs != entries {
+            self.errors.push(format!(
+                "combine_batch sizes sum to {} but the run has {entries} cs_enter events",
+                self.combined_outputs
+            ));
         }
     }
 
@@ -319,8 +341,16 @@ impl RunAcc {
         }
         let lv = m.kind_count("lv_update");
         let proxy = m.kind_count("proxy_forward");
-        if lv + proxy > 0 {
-            println!("  algorithm: lv_updates={lv} proxy_forwards={proxy}");
+        let batches = m.kind_count("combine_batch");
+        if lv + proxy + batches > 0 {
+            print!("  algorithm: lv_updates={lv} proxy_forwards={proxy}");
+            if batches > 0 {
+                print!(
+                    " combine_batches={batches} (mean size {:.2})",
+                    self.combined_outputs as f64 / batches as f64
+                );
+            }
+            println!();
         }
         if hist {
             if self.wireless_gaps.count() > 0 {
