@@ -28,7 +28,7 @@ quick:
 # combining identity on E13's L2C cells (see OBSERVABILITY.md).
 tracecheck:
 	cargo build --release --bin experiments --bin tracereport
-	./target/release/experiments e2 e13 --quick --trace target/tracecheck.jsonl > /dev/null
+	./target/release/experiments e2 e13 e14 --quick --trace target/tracecheck.jsonl > /dev/null
 	./target/release/tracereport --check target/tracecheck.jsonl
 
 # Run the full sweep set twice against one cache directory and diff the

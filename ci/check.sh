@@ -10,6 +10,33 @@ cd "$(dirname "$0")/.."
 fast=0
 [[ "${1:-}" == "--fast" ]] && fast=1
 
+echo "==> doc-consistency gate"
+# Every experiment the bench crate defines must be documented: a row in
+# README.md's experiment table and a section in EXPERIMENTS.md. Ids are
+# recovered from the `fn eN_*` entry points in crates/bench/src/exp_*.rs
+# (plus e0, whose entry point is exp_model::run).
+exp_ids="e0 $(grep -rho 'fn e[0-9]\+_' crates/bench/src/exp_*.rs | grep -o '[0-9]\+' | sort -un | sed 's/^/e/')"
+for id in $exp_ids; do
+  grep -q "| \`$id\` |" README.md || {
+    echo "doc gate: $id has no row in README.md's experiment table" >&2; exit 1; }
+  grep -qi "^## $id\b" EXPERIMENTS.md || {
+    echo "doc gate: $id has no section in EXPERIMENTS.md" >&2; exit 1; }
+done
+# Every TraceEvent wire name must be documented in OBSERVABILITY.md's
+# schema reference. Names are recovered from TraceEvent::name()'s arms.
+ev_names=$(sed -n '/pub fn name/,/^    }/p' crates/net/src/obs.rs | grep -o '=> "[a-z_0-9]*"' | grep -o '"[a-z_0-9]*"' | tr -d '"')
+[[ -n "$ev_names" ]] || { echo "doc gate: failed to extract TraceEvent names" >&2; exit 1; }
+for ev in $ev_names; do
+  grep -q "\`$ev\`" OBSERVABILITY.md || {
+    echo "doc gate: TraceEvent \"$ev\" is not documented in OBSERVABILITY.md" >&2; exit 1; }
+done
+# Every mobility pattern and fault kind must be documented in SCENARIOS.md.
+for variant in $(grep -o 'MovePattern::[A-Za-z]*' crates/net/src/mobility.rs | sort -u | cut -d: -f3) \
+               $(grep -o 'FaultKind::[A-Za-z]*' crates/net/src/fault.rs | sort -u | cut -d: -f3); do
+  grep -q "$variant" SCENARIOS.md || {
+    echo "doc gate: $variant is not documented in SCENARIOS.md" >&2; exit 1; }
+done
+
 echo "==> cargo fmt --check"
 cargo fmt --all -- --check
 
@@ -39,7 +66,7 @@ if [[ $fast -eq 0 ]]; then
   cargo test --release -q -p mobidist-bench --test trace_check
   cargo test --release -q -p mobidist-bench --test cache_check
 
-  # Cache-soundness gate: run the cacheable sweep set (e0..e11, e13) twice
+  # Cache-soundness gate: run the cacheable sweep set (e0..e11, e13, e14) twice
   # against one cache directory. The second pass must replay from disk —
   # byte-identical tables, a nonzero hit count, and at least a 5x
   # wall-time win. E12 is excluded on purpose: it bypasses the run cache
@@ -47,7 +74,7 @@ if [[ $fast -eq 0 ]]; then
   # dilute the timing check; the shard gate below covers it instead.
   echo "==> run-cache soundness gate"
   cargo build --release --bin experiments
-  cached_exps="e0 e1 e2 e3 e4 e5 e6 e7 e8 e9 e10 e11 e13"
+  cached_exps="e0 e1 e2 e3 e4 e5 e6 e7 e8 e9 e10 e11 e13 e14"
   cachedir="$(mktemp -d)"
   trap 'rm -rf "$cachedir"' EXIT
   t0=$(date +%s%N)
@@ -85,6 +112,13 @@ if [[ $fast -eq 0 ]]; then
   ./target/release/experiments e12 --quick --shards 4 > "$cachedir/shard4.txt"
   cmp "$cachedir/shard1.txt" "$cachedir/shard4.txt" || {
     echo "shard gate: 4-shard table differs from the 1-shard run" >&2; exit 1; }
+  # E14 runs on the classic kernel, so the shard knob must be inert for it
+  # even with the fault plane and the mobility zoo in play (its runs are
+  # cache-bypassing here: no --cache directory is passed).
+  ./target/release/experiments e14 --quick --shards 1 > "$cachedir/e14shard1.txt"
+  ./target/release/experiments e14 --quick --shards 4 > "$cachedir/e14shard4.txt"
+  cmp "$cachedir/e14shard1.txt" "$cachedir/e14shard4.txt" || {
+    echo "shard gate: E14 table changed under --shards 4" >&2; exit 1; }
   cargo test --release -q -p mobidist-net --test shard_equivalence
   cargo test --release -q -p mobidist-bench --test shard_equivalence
   cargo build --release --bin scalecheck

@@ -1,0 +1,5 @@
+//! Regenerates E12: the space-sharded scale curve (million-host churn).
+fn main() {
+    let quick = std::env::var_os("MOBIDIST_QUICK").is_some();
+    println!("{}", mobidist_bench::exp_scale::e12_scale_curve(quick));
+}

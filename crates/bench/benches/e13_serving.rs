@@ -1,0 +1,5 @@
+//! Regenerates E13: the heavy-traffic serving benchmark.
+fn main() {
+    let quick = std::env::var_os("MOBIDIST_QUICK").is_some();
+    println!("{}", mobidist_bench::exp_serve::e13_serving(quick));
+}

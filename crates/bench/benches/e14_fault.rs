@@ -1,0 +1,5 @@
+//! Regenerates E14: the mobility-zoo × fault-injection robustness grid.
+fn main() {
+    let quick = std::env::var_os("MOBIDIST_QUICK").is_some();
+    println!("{}", mobidist_bench::exp_fault::e14_fault(quick));
+}

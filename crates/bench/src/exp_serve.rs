@@ -219,6 +219,20 @@ pub fn run_serve_in(
     cfg: NetworkConfig,
     wl: WorkloadConfig,
 ) -> ServeRun {
+    run_serve_labeled(pools, algo, algo.label(), cfg, wl)
+}
+
+/// [`run_serve_in`] under an explicit run-cache site label. Other
+/// experiments reusing the serving machinery (E14's robustness grid) pass
+/// their own site labels here so cache records stay per-construction-site
+/// (see [`crate::cache`] on why labels name sites).
+pub fn run_serve_labeled(
+    pools: &mut ServePools,
+    algo: ServeAlgo,
+    label: &'static str,
+    cfg: NetworkConfig,
+    wl: WorkloadConfig,
+) -> ServeRun {
     let target = (wl.requesters.len() * wl.requests_per_mh) as u64;
     let m = cfg.num_mss;
     let extra = (&wl, HORIZON, CHUNK);
@@ -226,59 +240,59 @@ pub fn run_serve_in(
         &r.ledger
     }
     match algo {
-        ServeAlgo::L1 => crate::cache::cached(algo.label(), &cfg, &extra, ledger_of, || {
+        ServeAlgo::L1 => crate::cache::cached(label, &cfg, &extra, ledger_of, || {
             let a = L1::new(wl.requesters.clone());
             pools
                 .l1
                 .run(cfg.clone(), MutexHarness::new(a, wl.clone()), |sim| {
-                    crate::obs::install(sim, algo.label());
+                    crate::obs::install(sim, label);
                     let run = finish_serving(sim, target);
                     crate::obs::finish_run(sim);
                     run
                 })
         }),
-        ServeAlgo::L2 => crate::cache::cached(algo.label(), &cfg, &extra, ledger_of, || {
+        ServeAlgo::L2 => crate::cache::cached(label, &cfg, &extra, ledger_of, || {
             pools.l2.run(
                 cfg.clone(),
                 MutexHarness::new(L2::new(m), wl.clone()),
                 |sim| {
-                    crate::obs::install(sim, algo.label());
+                    crate::obs::install(sim, label);
                     let run = finish_serving(sim, target);
                     crate::obs::finish_run(sim);
                     run
                 },
             )
         }),
-        ServeAlgo::L2c => crate::cache::cached(algo.label(), &cfg, &extra, ledger_of, || {
+        ServeAlgo::L2c => crate::cache::cached(label, &cfg, &extra, ledger_of, || {
             pools.l2c.run(
                 cfg.clone(),
                 MutexHarness::new(L2c::new(m), wl.clone()),
                 |sim| {
-                    crate::obs::install(sim, algo.label());
+                    crate::obs::install(sim, label);
                     let run = finish_serving(sim, target);
                     crate::obs::finish_run(sim);
                     run
                 },
             )
         }),
-        ServeAlgo::R1 => crate::cache::cached(algo.label(), &cfg, &extra, ledger_of, || {
+        ServeAlgo::R1 => crate::cache::cached(label, &cfg, &extra, ledger_of, || {
             let ring: Vec<MhId> = (0..cfg.num_mh as u32).map(MhId).collect();
             let a = R1::new(ring, R1DisconnectPolicy::Stall);
             pools
                 .r1
                 .run(cfg.clone(), MutexHarness::new(a, wl.clone()), |sim| {
-                    crate::obs::install(sim, algo.label());
+                    crate::obs::install(sim, label);
                     let run = finish_serving(sim, target);
                     crate::obs::finish_run(sim);
                     run
                 })
         }),
-        ServeAlgo::R2 => crate::cache::cached(algo.label(), &cfg, &extra, ledger_of, || {
+        ServeAlgo::R2 => crate::cache::cached(label, &cfg, &extra, ledger_of, || {
             let a = R2::new(m, RingGuard::Plain);
             pools
                 .r2
                 .run(cfg.clone(), MutexHarness::new(a, wl.clone()), |sim| {
-                    crate::obs::install(sim, algo.label());
+                    crate::obs::install(sim, label);
                     let run = finish_serving(sim, target);
                     crate::obs::finish_run(sim);
                     run

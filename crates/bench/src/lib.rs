@@ -19,6 +19,7 @@
 #![warn(missing_debug_implementations)]
 
 pub mod cache;
+pub mod exp_fault;
 pub mod exp_group;
 pub mod exp_model;
 pub mod exp_mutex;

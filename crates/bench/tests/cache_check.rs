@@ -8,21 +8,23 @@
 //! binary holds exactly one `#[test]`: a second test in the same process
 //! could observe the other's environment mid-run.
 
-use mobidist_bench::{exp_group, exp_mutex, exp_serve};
+use mobidist_bench::{exp_fault, exp_group, exp_mutex, exp_serve};
 use mobidist_runcache::{store, CACHE_ENV};
 use std::fs;
 use std::path::{Path, PathBuf};
 
-/// Renders the five pinned quick tables (E1, E2, E5, E11, E13) to one
-/// string.
+/// Renders the six pinned quick tables (E1, E2, E5, E11, E13, E14) to one
+/// string. E14 pins the fault plane through the cache: a replayed faulty
+/// run must reproduce the recorded fault counters bit-for-bit.
 fn tables() -> String {
     format!(
-        "{}{}{}{}{}",
+        "{}{}{}{}{}{}",
         exp_mutex::e1_lamport(true),
         exp_mutex::e2_ring(true),
         exp_group::e5_group_strategies(true),
         exp_group::e11_exactly_once(true),
         exp_serve::e13_serving(true),
+        exp_fault::e14_fault(true),
     )
 }
 

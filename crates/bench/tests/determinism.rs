@@ -5,7 +5,7 @@
 //! input order. These tests pin both halves: identical seeds yield identical
 //! execution traces, and worker count never changes a rendered table.
 
-use mobidist_bench::{exp_group, exp_mutex, exp_serve};
+use mobidist_bench::{exp_fault, exp_group, exp_mutex, exp_serve};
 use mobidist_core::prelude::*;
 use mobidist_net::prelude::*;
 use mobidist_net::time::SimTime;
@@ -53,6 +53,7 @@ fn tables_are_byte_identical_at_any_worker_count() {
         let e1 = exp_mutex::e1_lamport(true);
         let e5 = exp_group::e5_group_strategies(true);
         let e13 = exp_serve::e13_serving(true);
+        let e14 = exp_fault::e14_fault(true);
         std::env::remove_var("MOBIDIST_JOBS");
         (
             e1.to_string(),
@@ -61,6 +62,8 @@ fn tables_are_byte_identical_at_any_worker_count() {
             e5.to_csv(),
             e13.to_string(),
             e13.to_csv(),
+            e14.to_string(),
+            e14.to_csv(),
         )
     };
     let seq = render("1");
@@ -80,4 +83,9 @@ fn tables_are_byte_identical_at_any_worker_count() {
         "E13 table text differs between jobs=1 and jobs=4"
     );
     assert_eq!(seq.5, par.5, "E13 CSV differs between jobs=1 and jobs=4");
+    assert_eq!(
+        seq.6, par.6,
+        "E14 table text differs between jobs=1 and jobs=4"
+    );
+    assert_eq!(seq.7, par.7, "E14 CSV differs between jobs=1 and jobs=4");
 }

@@ -6,7 +6,7 @@
 //! count — that is the determinism contract CI's shard-soundness gate
 //! enforces with `cmp` at the CLI level.
 
-use mobidist_bench::{exp_group, exp_mutex, exp_scale, exp_serve};
+use mobidist_bench::{exp_fault, exp_group, exp_mutex, exp_scale, exp_serve};
 use std::sync::Mutex;
 
 /// Serialises the tests in this file: they mutate `MOBIDIST_SHARDS`,
@@ -55,6 +55,18 @@ fn e13_ignores_the_shard_knob() {
     let unset = with_shards(None, render);
     let sharded = with_shards(Some("4"), render);
     assert_eq!(unset, sharded, "MOBIDIST_SHARDS must be inert for E13");
+}
+
+#[test]
+fn e14_ignores_the_shard_knob() {
+    // The robustness grid injects faults into the classic kernel; the
+    // fault schedule and mobility zoo must replay identically whatever
+    // the sharded-kernel worker count is set to.
+    let _guard = ENV_LOCK.lock().unwrap();
+    let render = || exp_fault::e14_fault(true).to_string();
+    let unset = with_shards(None, render);
+    let sharded = with_shards(Some("4"), render);
+    assert_eq!(unset, sharded, "MOBIDIST_SHARDS must be inert for E14");
 }
 
 #[test]

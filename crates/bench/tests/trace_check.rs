@@ -2,14 +2,16 @@
 //! `MOBIDIST_TRACE` never perturbs simulation results (experiment tables are
 //! byte-identical with and without it), and the emitted event stream is
 //! complete (trace-derived message counts exactly equal the cost-ledger
-//! counters recorded at `run_end`) for E1, E2, E5, E11 and E13 — including
-//! the combining identity: L2C batch sizes sum to the CS-entry count.
+//! counters recorded at `run_end`) for E1, E2, E5, E11, E13 and E14 —
+//! including the combining identity (L2C batch sizes sum to the CS-entry
+//! count) and the fault identities (trace-level fault events equal the
+//! ledger's fault counters).
 //!
 //! Everything lives in ONE `#[test]` because `MOBIDIST_TRACE` is
 //! process-global: no other test in this binary may race on the variable.
 
 use mobidist_bench::obs::{merge_worker_files, TRACE_ENV};
-use mobidist_bench::{exp_group, exp_mutex, exp_serve};
+use mobidist_bench::{exp_fault, exp_group, exp_mutex, exp_serve};
 use mobidist_net::metrics::Metrics;
 use mobidist_net::obs::{parse_line, Line, RunMeta, RunSummary, TraceEvent};
 use std::collections::BTreeMap;
@@ -24,6 +26,7 @@ fn render_all() -> String {
         exp_group::e5_group_strategies(true),
         exp_group::e11_exactly_once(true),
         exp_serve::e13_serving(true),
+        exp_fault::e14_fault(true),
     ] {
         out.push_str(&t.to_string());
         out.push_str(&t.to_csv());
@@ -38,6 +41,8 @@ struct Derived {
     re_searches: u64,
     handoffs: u64,
     combined: u64,
+    partitions_raised: u64,
+    partitions_healed: u64,
     events: u64,
     summary: Option<(RunSummary, u64)>,
 }
@@ -86,6 +91,8 @@ fn tracing_is_invisible_and_counts_match_the_ledger() {
                         to, prev: Some(p), ..
                     } if p != to => d.handoffs += 1,
                     TraceEvent::CombineBatch { size, .. } => d.combined += size as u64,
+                    TraceEvent::FaultPartition { healed: false, .. } => d.partitions_raised += 1,
+                    TraceEvent::FaultPartition { healed: true, .. } => d.partitions_healed += 1,
                     _ => {}
                 }
             }
@@ -107,7 +114,7 @@ fn tracing_is_invisible_and_counts_match_the_ledger() {
         });
         assert_eq!(*claimed, d.events, "run {run} [{label}]: event count");
         let m = &d.metrics;
-        let checks: [(&str, u64, u64); 11] = [
+        let checks: [(&str, u64, u64); 16] = [
             ("fixed_msgs", m.fixed_msgs.get(), s.fixed_msgs),
             ("wireless_msgs", m.wireless_msgs.get(), s.wireless_msgs),
             ("searches", m.kind_count("search"), s.searches),
@@ -131,6 +138,19 @@ fn tracing_is_invisible_and_counts_match_the_ledger() {
                 m.kind_count("down_lost"),
                 s.wireless_losses,
             ),
+            (
+                "fault_crashes",
+                m.kind_count("fault_crash"),
+                s.fault_crashes,
+            ),
+            (
+                "fault_recovers",
+                m.kind_count("fault_recover"),
+                s.fault_recovers,
+            ),
+            ("fault_partitions", d.partitions_raised, s.fault_partitions),
+            ("fault_heals", d.partitions_healed, s.fault_heals),
+            ("fault_storms", m.kind_count("fault_storm"), s.fault_storms),
         ];
         for (name, derived, ledger) in checks {
             assert_eq!(
@@ -154,6 +174,11 @@ fn tracing_is_invisible_and_counts_match_the_ledger() {
             d.metrics.kind_count("combine_batch") > 0 && d.metrics.kind_count("cs_enter") > 0
         }),
         "at least one traced run must exercise the combining identity"
+    );
+    assert!(
+        runs.values()
+            .any(|d| d.metrics.kind_count("fault_crash") > 0),
+        "at least one traced run must exercise the fault identities (E14's crash cells)"
     );
 
     let _ = std::fs::remove_file(&trace);

@@ -1,6 +1,7 @@
 //! Simulation configuration.
 
 use crate::cost::{CostModel, EnergyModel};
+use crate::fault::FaultConfig;
 use crate::latency::LatencyModel;
 use crate::mobility::{DisconnectConfig, MobilityConfig};
 use crate::search::SearchPolicy;
@@ -72,6 +73,9 @@ pub struct NetworkConfig {
     pub mobility: MobilityConfig,
     /// Autonomous disconnection process.
     pub disconnect: DisconnectConfig,
+    /// Scheduled fault injection (MSS crashes, wired partitions, handoff
+    /// storms). Default: no faults.
+    pub fault: FaultConfig,
     /// Initial placement of MHs into cells.
     pub placement: Placement,
     /// Whether a `join()` carries the id of the previous MSS (required by the
@@ -99,6 +103,7 @@ impl NetworkConfig {
             search: SearchPolicy::default(),
             mobility: MobilityConfig::default(),
             disconnect: DisconnectConfig::default(),
+            fault: FaultConfig::default(),
             placement: Placement::default(),
             supply_prev_on_join: true,
             seed: 0,
@@ -132,6 +137,12 @@ impl NetworkConfig {
     /// Replaces the disconnection process.
     pub fn with_disconnect(mut self, disconnect: DisconnectConfig) -> Self {
         self.disconnect = disconnect;
+        self
+    }
+
+    /// Replaces the fault-injection schedule.
+    pub fn with_fault(mut self, fault: FaultConfig) -> Self {
+        self.fault = fault;
         self
     }
 
@@ -181,6 +192,7 @@ mod tests {
         let cfg = NetworkConfig::new(2, 2);
         assert!(!cfg.mobility.enabled);
         assert!(!cfg.disconnect.enabled);
+        assert!(cfg.fault.is_empty());
         assert_eq!(cfg.placement, Placement::RoundRobin);
     }
 }

@@ -1,0 +1,205 @@
+//! Deterministic fault injection.
+//!
+//! The paper's system model assumes MSSs and the wired network are reliable;
+//! real deployments are not, and MSS-structured algorithms are only worth
+//! their handoff complexity if they degrade gracefully when the fixed tier
+//! misbehaves. [`FaultConfig`] schedules *seeded, reproducible* adversities
+//! against a run — the schedule is part of the canonical run descriptor
+//! (canon-hashed into the fingerprint), so faulted runs cache and replay
+//! bit-identically like any other.
+//!
+//! # Fault model (summary — SCENARIOS.md is the full reference)
+//!
+//! * **MSS crash** ([`FaultKind::MssCrash`]) is *fail-stop with stable
+//!   state*: a crashed MSS stops sending and receiving on both planes, its
+//!   local MHs evacuate to other cells through the ordinary leave/join
+//!   choreography, and on recovery the MSS resumes with its protocol state
+//!   intact (the paper's MSSs have stable storage). Wired messages addressed
+//!   to a down MSS are *deferred*, not lost — the wired plane stays reliable
+//!   FIFO.
+//! * **Partition** ([`FaultKind::Partition`]) splits the wired plane into
+//!   two halves (cells `< cut` vs `≥ cut`); cross-half wired messages are
+//!   buffered and delivered in order when the partition heals. Wireless
+//!   traffic and searches are unaffected (the search service is modelled as
+//!   an out-of-band location infrastructure).
+//! * **Handoff storm** ([`FaultKind::HandoffStorm`]) forces the first
+//!   `count` connected MHs to leave their cells simultaneously — the mass
+//!   re-registration burst a stadium or a train produces.
+//!
+//! Faults fire at their scheduled tick via ordinary kernel events and
+//! consume **no extra rng draws at schedule time**, so a config with
+//! `FaultConfig::default()` (no events) is bit-identical to one built
+//! before the fault plane existed.
+
+use crate::fingerprint::{CanonHash, CanonHasher};
+
+/// One scheduled adversity.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FaultEvent {
+    /// Simulation tick at which the fault fires.
+    pub at: u64,
+    /// What happens.
+    pub kind: FaultKind,
+}
+
+/// The kinds of adversity the kernel can inject.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum FaultKind {
+    /// Fail-stop crash of one MSS, recovering with state intact after
+    /// `down_for` ticks. While down, the MSS neither sends nor receives on
+    /// either plane; wired messages to it are deferred until recovery, its
+    /// resident MHs evacuate to other cells, and joins are redirected to
+    /// the next live cell.
+    MssCrash {
+        /// The station that crashes (cell index, `0..M`).
+        mss: u32,
+        /// Down-time in ticks before recovery (minimum 1 enforced by the
+        /// kernel).
+        down_for: u64,
+    },
+    /// Wired-plane partition separating cells `0..cut` from cells
+    /// `cut..M`, healing after `heal_after` ticks. Cross-half wired
+    /// messages buffer in FIFO order and flush at heal time; wireless and
+    /// search traffic are unaffected.
+    Partition {
+        /// Cut point: cells with index `< cut` form one half (clamped to
+        /// `1..M` by the kernel so both halves are non-empty).
+        cut: u32,
+        /// Partition duration in ticks before healing (minimum 1).
+        heal_after: u64,
+    },
+    /// Mass handoff storm: the first `count` connected MHs (in id order)
+    /// all leave their cells at the fault tick, destinations drawn from
+    /// the run's [`MovePattern`](crate::mobility::MovePattern) as usual.
+    HandoffStorm {
+        /// Number of hosts forced to move (clamped to the connected
+        /// population).
+        count: u32,
+    },
+}
+
+/// A deterministic schedule of adversities, part of
+/// [`NetworkConfig`](crate::config::NetworkConfig).
+///
+/// The default schedule is empty — a fault-free run. Events may share a
+/// tick; they fire in schedule order.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct FaultConfig {
+    /// The scheduled events, fired in `(at, schedule index)` order.
+    pub events: Vec<FaultEvent>,
+}
+
+impl FaultConfig {
+    /// No faults (the default).
+    pub fn none() -> Self {
+        FaultConfig::default()
+    }
+
+    /// Appends an event, builder-style.
+    pub fn with_event(mut self, at: u64, kind: FaultKind) -> Self {
+        self.events.push(FaultEvent { at, kind });
+        self
+    }
+
+    /// Whether the schedule is empty.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+}
+
+impl CanonHash for FaultKind {
+    fn canon_hash(&self, h: &mut CanonHasher) {
+        match *self {
+            FaultKind::MssCrash { mss, down_for } => {
+                h.write_u64(0);
+                h.write_u64(mss as u64);
+                h.write_u64(down_for);
+            }
+            FaultKind::Partition { cut, heal_after } => {
+                h.write_u64(1);
+                h.write_u64(cut as u64);
+                h.write_u64(heal_after);
+            }
+            FaultKind::HandoffStorm { count } => {
+                h.write_u64(2);
+                h.write_u64(count as u64);
+            }
+        }
+    }
+}
+
+impl CanonHash for FaultEvent {
+    fn canon_hash(&self, h: &mut CanonHasher) {
+        h.write_u64(self.at);
+        self.kind.canon_hash(h);
+    }
+}
+
+impl CanonHash for FaultConfig {
+    fn canon_hash(&self, h: &mut CanonHasher) {
+        self.events.canon_hash(h);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fingerprint::Fingerprint;
+
+    #[test]
+    fn default_is_empty() {
+        assert!(FaultConfig::default().is_empty());
+        assert!(FaultConfig::none().is_empty());
+    }
+
+    #[test]
+    fn builder_appends_in_order() {
+        let f = FaultConfig::none()
+            .with_event(
+                10,
+                FaultKind::MssCrash {
+                    mss: 1,
+                    down_for: 5,
+                },
+            )
+            .with_event(20, FaultKind::HandoffStorm { count: 3 });
+        assert_eq!(f.events.len(), 2);
+        assert_eq!(f.events[0].at, 10);
+        assert_eq!(f.events[1].at, 20);
+    }
+
+    #[test]
+    fn canon_hash_separates_schedules() {
+        let empty = Fingerprint::of(&FaultConfig::none());
+        let crash = Fingerprint::of(&FaultConfig::none().with_event(
+            10,
+            FaultKind::MssCrash {
+                mss: 1,
+                down_for: 5,
+            },
+        ));
+        let crash_later = Fingerprint::of(&FaultConfig::none().with_event(
+            11,
+            FaultKind::MssCrash {
+                mss: 1,
+                down_for: 5,
+            },
+        ));
+        let part = Fingerprint::of(&FaultConfig::none().with_event(
+            10,
+            FaultKind::Partition {
+                cut: 1,
+                heal_after: 5,
+            },
+        ));
+        let storm = Fingerprint::of(
+            &FaultConfig::none().with_event(10, FaultKind::HandoffStorm { count: 1 }),
+        );
+        let all = [empty, crash, crash_later, part, storm];
+        for (i, a) in all.iter().enumerate() {
+            for b in &all[i + 1..] {
+                assert_ne!(a, b);
+            }
+        }
+    }
+}

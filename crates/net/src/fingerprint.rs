@@ -70,7 +70,7 @@ use crate::search::SearchPolicy;
 /// logic, default parameters. Doc, API-surface and pure-performance
 /// changes with bit-identical results keep the salt. The policy is
 /// documented in DESIGN.md ("Run cache").
-pub const KERNEL_VERSION_SALT: u64 = 3;
+pub const KERNEL_VERSION_SALT: u64 = 4;
 
 const LANE0_SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
 const LANE1_SEED: u64 = 0x9e_37_79_b9_7f_4a_7c_15;
@@ -367,6 +367,19 @@ impl CanonHash for MovePattern {
                 p_local.canon_hash(h);
                 h.write_u64(home_span as u64);
             }
+            MovePattern::RandomWaypoint { leg } => {
+                h.write_u64(2);
+                h.write_u64(leg as u64);
+            }
+            MovePattern::GaussMarkov { memory } => {
+                h.write_u64(3);
+                memory.canon_hash(h);
+            }
+            MovePattern::GroupPlatoon { groups, p_follow } => {
+                h.write_u64(4);
+                h.write_u64(groups as u64);
+                p_follow.canon_hash(h);
+            }
         }
     }
 }
@@ -428,6 +441,7 @@ impl CanonHash for NetworkConfig {
             search,
             mobility,
             disconnect,
+            fault,
             placement,
             supply_prev_on_join,
             seed,
@@ -440,6 +454,7 @@ impl CanonHash for NetworkConfig {
         search.canon_hash(h);
         mobility.canon_hash(h);
         disconnect.canon_hash(h);
+        fault.canon_hash(h);
         placement.canon_hash(h);
         supply_prev_on_join.canon_hash(h);
         h.write_u64(*seed);
@@ -472,6 +487,39 @@ mod tests {
             base.clone().with_search(SearchPolicy::Flood),
             base.clone().with_search(SearchPolicy::HomeAgent),
             base.clone().with_mobility(MobilityConfig::moving(100)),
+            base.clone().with_mobility(
+                MobilityConfig::moving(100).with_pattern(MovePattern::RandomWaypoint { leg: 4 }),
+            ),
+            base.clone().with_mobility(
+                MobilityConfig::moving(100).with_pattern(MovePattern::GaussMarkov { memory: 0.8 }),
+            ),
+            base.clone()
+                .with_mobility(MobilityConfig::moving(100).with_pattern(
+                    MovePattern::GroupPlatoon {
+                        groups: 4,
+                        p_follow: 0.9,
+                    },
+                )),
+            base.clone()
+                .with_fault(crate::fault::FaultConfig::none().with_event(
+                    50,
+                    crate::fault::FaultKind::MssCrash {
+                        mss: 0,
+                        down_for: 10,
+                    },
+                )),
+            base.clone()
+                .with_fault(crate::fault::FaultConfig::none().with_event(
+                    50,
+                    crate::fault::FaultKind::Partition {
+                        cut: 4,
+                        heal_after: 10,
+                    },
+                )),
+            base.clone().with_fault(
+                crate::fault::FaultConfig::none()
+                    .with_event(50, crate::fault::FaultKind::HandoffStorm { count: 8 }),
+            ),
             base.clone().with_disconnect(DisconnectConfig {
                 enabled: true,
                 ..DisconnectConfig::default()

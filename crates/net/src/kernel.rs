@@ -120,6 +120,16 @@ enum Ev<M, T> {
     Timer {
         t: T,
     },
+    /// A scheduled fault fires (index into `cfg.fault.events`).
+    Fault {
+        idx: usize,
+    },
+    /// A crashed MSS comes back up (fault plane).
+    MssRecover {
+        mss: MssId,
+    },
+    /// The active wired partition heals (fault plane).
+    PartitionHeal,
 }
 
 /// Simulation kernel state. Owned by [`Simulation`](crate::sim::Simulation);
@@ -150,6 +160,15 @@ pub struct Kernel<M, T> {
     /// Reusable buffer for cell-broadcast recipient lists, so the hot path
     /// never allocates per call.
     scratch_locals: Vec<MhId>,
+    /// Per-MSS crashed flag (fault plane). All-false on fault-free runs.
+    down: Vec<bool>,
+    /// Active wired-plane partition: cells `< cut` vs cells `≥ cut`.
+    partition_cut: Option<u32>,
+    /// Wired messages deferred by the fault plane (endpoint down, or the
+    /// pair straddles an active partition), in arrival order. Flushed —
+    /// still in order, without re-charging — when the blocking condition
+    /// clears. Always empty on fault-free runs.
+    blocked: Vec<(MssId, MssId, M)>,
 }
 
 impl<M: Debug + 'static, T: Debug + 'static> Kernel<M, T> {
@@ -172,6 +191,9 @@ impl<M: Debug + 'static, T: Debug + 'static> Kernel<M, T> {
             sink: None,
             trace_seq: 0,
             scratch_locals: Vec::new(),
+            down: Vec::new(),
+            partition_cut: None,
+            blocked: Vec::new(),
         };
         k.reset(cfg);
         k
@@ -236,6 +258,17 @@ impl<M: Debug + 'static, T: Debug + 'static> Kernel<M, T> {
                 self.queue
                     .push(self.now + d, Ev::AutoDisconnect { mh: MhId(i as u32) });
             }
+        }
+        // Fault plane: scheduling consumes NO rng draws, so a fault-free
+        // config replays bit-identically to one built before the fault plane
+        // existed. Events sharing a tick fire in schedule order (insertion
+        // sequence breaks the tie).
+        self.down.clear();
+        self.down.resize(m, false);
+        self.partition_cut = None;
+        self.blocked.clear();
+        for (idx, fe) in self.cfg.fault.events.iter().enumerate() {
+            self.queue.push(self.now + fe.at.max(1), Ev::Fault { idx });
         }
     }
 
@@ -729,6 +762,16 @@ impl<M: Debug + 'static, T: Debug + 'static> Kernel<M, T> {
     fn process(&mut self, ev: Ev<M, T>) {
         match ev {
             Ev::FixedDeliver { from, to, msg } => {
+                // Fault plane: defer delivery while either endpoint is down
+                // or the pair straddles an active partition — or while older
+                // messages of the same pair are already deferred (FIFO).
+                if self.wired_blocked(from, to)
+                    || (!self.blocked.is_empty()
+                        && self.blocked.iter().any(|(f, t, _)| *f == from && *t == to))
+                {
+                    self.blocked.push((from, to, msg));
+                    return;
+                }
                 if from != to {
                     // Self-sends are not messages in the model; only real
                     // fixed-network deliveries appear in the trace.
@@ -820,6 +863,136 @@ impl<M: Debug + 'static, T: Debug + 'static> Kernel<M, T> {
             }
             Ev::DoReconnect { mh, mss } => self.do_reconnect(mh, mss),
             Ev::Timer { t } => self.pending.push_back(ProtoEvent::Timer(t)),
+            Ev::Fault { idx } => self.apply_fault(idx),
+            Ev::MssRecover { mss } => self.apply_recover(mss),
+            Ev::PartitionHeal => self.apply_heal(),
+        }
+    }
+
+    // ----- fault plane --------------------------------------------------------
+
+    /// True when the fault plane currently has `mss` crashed.
+    pub fn mss_down(&self, mss: MssId) -> bool {
+        self.down.get(mss.index()).copied().unwrap_or(false)
+    }
+
+    /// True when wired traffic between `from` and `to` is currently
+    /// deferred: either endpoint is crashed, or the pair straddles the
+    /// active partition.
+    fn wired_blocked(&self, from: MssId, to: MssId) -> bool {
+        if self.mss_down(from) || self.mss_down(to) {
+            return true;
+        }
+        match self.partition_cut {
+            Some(cut) => (from.0 < cut) != (to.0 < cut),
+            None => false,
+        }
+    }
+
+    /// `want`, unless it is crashed — then the next live cell in ascending
+    /// ring order (joins are redirected there; `want` itself if every cell
+    /// is down).
+    fn live_cell(&self, want: MssId) -> MssId {
+        if !self.mss_down(want) {
+            return want;
+        }
+        let m = self.cfg.num_mss as u32;
+        (1..m)
+            .map(|k| MssId((want.0 + k) % m))
+            .find(|c| !self.mss_down(*c))
+            .unwrap_or(want)
+    }
+
+    fn apply_fault(&mut self, idx: usize) {
+        let fe = self.cfg.fault.events[idx];
+        match fe.kind {
+            crate::fault::FaultKind::MssCrash { mss, down_for } => {
+                let mss = MssId(mss % self.cfg.num_mss as u32);
+                if self.mss_down(mss) {
+                    return; // already down: overlapping crash is a no-op
+                }
+                self.down[mss.index()] = true;
+                self.ledger.bump("fault_crashes");
+                self.emit(|| TraceEvent::FaultCrash { mss });
+                self.trace.record(self.now, || format!("{mss} crashes"));
+                self.pending.push_back(ProtoEvent::MssCrashed { mss });
+                // Resident MHs evacuate through the ordinary leave/join
+                // choreography (destinations from the run's MovePattern,
+                // redirected if they land on a down cell at join time).
+                let locals: Vec<MhId> = self.msss[mss.index()].local.iter().collect();
+                for mh in locals {
+                    self.do_leave(mh, None);
+                }
+                self.queue
+                    .push(self.now + down_for.max(1), Ev::MssRecover { mss });
+            }
+            crate::fault::FaultKind::Partition { cut, heal_after } => {
+                if self.partition_cut.is_some() || self.cfg.num_mss < 2 {
+                    return; // one partition at a time; 1-cell planes can't split
+                }
+                let cut = cut.clamp(1, self.cfg.num_mss as u32 - 1);
+                self.partition_cut = Some(cut);
+                self.ledger.bump("fault_partitions");
+                self.emit(|| TraceEvent::FaultPartition { cut, healed: false });
+                self.trace
+                    .record(self.now, || format!("wired partition at cut {cut}"));
+                self.queue
+                    .push(self.now + heal_after.max(1), Ev::PartitionHeal);
+            }
+            crate::fault::FaultKind::HandoffStorm { count } => {
+                let mut moved = 0u32;
+                for i in 0..self.cfg.num_mh {
+                    if moved >= count {
+                        break;
+                    }
+                    let mh = MhId(i as u32);
+                    if self.mhs.status(mh) == MhStatus::Connected {
+                        self.do_leave(mh, None);
+                        moved += 1;
+                    }
+                }
+                self.ledger.bump("fault_storms");
+                self.emit(|| TraceEvent::FaultStorm { moved });
+                self.trace
+                    .record(self.now, || format!("handoff storm moved {moved} MHs"));
+            }
+        }
+    }
+
+    fn apply_recover(&mut self, mss: MssId) {
+        self.down[mss.index()] = false;
+        self.ledger.bump("fault_recovers");
+        self.emit(|| TraceEvent::FaultRecover { mss });
+        self.trace.record(self.now, || format!("{mss} recovers"));
+        self.pending.push_back(ProtoEvent::MssRecovered { mss });
+        self.flush_unblocked();
+    }
+
+    fn apply_heal(&mut self) {
+        if let Some(cut) = self.partition_cut.take() {
+            self.ledger.bump("fault_heals");
+            self.emit(|| TraceEvent::FaultPartition { cut, healed: true });
+            self.trace
+                .record(self.now, || format!("partition at cut {cut} heals"));
+            self.flush_unblocked();
+        }
+    }
+
+    /// Re-delivers deferred wired messages whose blocking condition has
+    /// cleared, preserving arrival order (and never re-charging — the send
+    /// was billed when it happened).
+    fn flush_unblocked(&mut self) {
+        if self.blocked.is_empty() {
+            return;
+        }
+        let pending = std::mem::take(&mut self.blocked);
+        for (from, to, msg) in pending {
+            if self.wired_blocked(from, to) {
+                self.blocked.push((from, to, msg));
+            } else {
+                self.queue
+                    .push(self.now + 1, Ev::FixedDeliver { from, to, msg });
+            }
         }
     }
 
@@ -838,19 +1011,25 @@ impl<M: Debug + 'static, T: Debug + 'static> Kernel<M, T> {
         self.trace.record(self.now, || format!("{mh} leaves {mss}"));
         self.pending.push_back(ProtoEvent::Left { mh, mss });
         let gap = self.rng.exp_delay(self.cfg.mobility.mean_gap.max(1));
-        let m = self.cfg.num_mss;
-        let home = self.mhs.home(mh);
         let dest = dest.unwrap_or_else(|| {
-            self.cfg
-                .mobility
-                .pattern
-                .next_cell(&mut self.rng, mh, mss, m, home)
+            let ctx = crate::mobility::MoveCtx {
+                mh,
+                from: mss,
+                m: self.cfg.num_mss,
+                home: self.mhs.home(mh),
+                era: self.mhs.epoch(mh),
+                seed: self.cfg.seed,
+            };
+            self.cfg.mobility.pattern.next_cell(&mut self.rng, ctx)
         });
         self.queue
             .push(self.now + gap, Ev::DoJoin { mh, mss: dest });
     }
 
     fn do_join(&mut self, mh: MhId, mss: MssId) {
+        // Fault plane: a join aimed at a crashed cell lands at the next
+        // live one instead (no MSS to run the join choreography).
+        let mss = self.live_cell(mss);
         let prev = self.mhs.prev_cell(mh);
         self.mhs.set_cell(mh, Some(mss));
         self.mhs.set_status(mh, MhStatus::Connected);
@@ -912,13 +1091,15 @@ impl<M: Debug + 'static, T: Debug + 'static> Kernel<M, T> {
         self.pending.push_back(ProtoEvent::Disconnected { mh, mss });
         if schedule_auto_reconnect {
             let down = self.rng.exp_delay(self.cfg.disconnect.mean_downtime.max(1));
-            let m = self.cfg.num_mss;
-            let home = self.mhs.home(mh);
-            let dest = self
-                .cfg
-                .mobility
-                .pattern
-                .next_cell(&mut self.rng, mh, mss, m, home);
+            let ctx = crate::mobility::MoveCtx {
+                mh,
+                from: mss,
+                m: self.cfg.num_mss,
+                home: self.mhs.home(mh),
+                era: self.mhs.epoch(mh),
+                seed: self.cfg.seed,
+            };
+            let dest = self.cfg.mobility.pattern.next_cell(&mut self.rng, ctx);
             self.queue
                 .push(self.now + down, Ev::DoReconnect { mh, mss: dest });
         }
@@ -928,6 +1109,7 @@ impl<M: Debug + 'static, T: Debug + 'static> Kernel<M, T> {
         if self.mhs.status(mh) != MhStatus::Disconnected {
             return;
         }
+        let mss = self.live_cell(mss);
         let old = self.mhs.disconnected_at(mh);
         if let Some(o) = old {
             self.msss[o.index()].disconnected_here.remove(&mh);

@@ -54,6 +54,7 @@ pub mod config;
 pub mod cost;
 pub mod error;
 pub mod event;
+pub mod fault;
 pub mod fingerprint;
 pub mod hash;
 pub mod host;
@@ -78,12 +79,13 @@ pub mod prelude {
     pub use crate::config::{LatencyConfig, NetworkConfig, Placement};
     pub use crate::cost::{CostModel, EnergyModel};
     pub use crate::error::NetError;
+    pub use crate::fault::{FaultConfig, FaultEvent, FaultKind};
     pub use crate::host::MhStatus;
     pub use crate::ids::{Endpoint, GroupId, MhId, MssId};
     pub use crate::latency::LatencyModel;
     pub use crate::ledger::CostLedger;
     pub use crate::metrics::{Histogram, Metrics, MetricsSink};
-    pub use crate::mobility::{DisconnectConfig, MobilityConfig, MovePattern};
+    pub use crate::mobility::{DisconnectConfig, MobilityConfig, MoveCtx, MovePattern};
     pub use crate::obs::{JsonlSink, RingSink, TraceEvent, TraceSink};
     pub use crate::proto::{Ctx, Protocol, Src};
     pub use crate::rng::SimRng;

@@ -282,6 +282,36 @@ pub enum TraceEvent {
         /// Number of client operations served in this batch.
         size: u32,
     },
+    /// The fault plane crashed an MSS (fail-stop with stable state; see
+    /// SCENARIOS.md). One ledger `fault_crashes` custom counter bump per
+    /// event — `tracereport --check` reconciles the counts.
+    FaultCrash {
+        /// The crashed station.
+        mss: MssId,
+    },
+    /// A crashed MSS recovered with its state intact; wired messages
+    /// deferred during the outage re-deliver in order right after this
+    /// event. One ledger `fault_recovers` bump per event.
+    FaultRecover {
+        /// The recovered station.
+        mss: MssId,
+    },
+    /// The wired plane partitioned (`healed = false`, ledger
+    /// `fault_partitions`) or healed (`healed = true`, ledger
+    /// `fault_heals`): cells `< cut` and cells `≥ cut` defer wired traffic
+    /// across the split while it lasts.
+    FaultPartition {
+        /// The cut point separating the two halves.
+        cut: u32,
+        /// False when the partition starts, true when it heals.
+        healed: bool,
+    },
+    /// A mass handoff storm fired: `moved` connected MHs were forced to
+    /// leave their cells at once. One ledger `fault_storms` bump per event.
+    FaultStorm {
+        /// Number of MHs forced to move.
+        moved: u32,
+    },
 }
 
 impl TraceEvent {
@@ -312,6 +342,10 @@ impl TraceEvent {
             TraceEvent::ShardSync { .. } => "shard_sync",
             TraceEvent::ShardRecv { .. } => "shard_recv",
             TraceEvent::CombineBatch { .. } => "combine_batch",
+            TraceEvent::FaultCrash { .. } => "fault_crash",
+            TraceEvent::FaultRecover { .. } => "fault_recover",
+            TraceEvent::FaultPartition { .. } => "fault_partition",
+            TraceEvent::FaultStorm { .. } => "fault_storm",
         }
     }
 
@@ -419,6 +453,16 @@ impl TraceEvent {
             TraceEvent::CombineBatch { mss, size } => {
                 num("mss", mss.0 as u64);
                 num("size", size as u64);
+            }
+            TraceEvent::FaultCrash { mss } | TraceEvent::FaultRecover { mss } => {
+                num("mss", mss.0 as u64);
+            }
+            TraceEvent::FaultPartition { cut, healed } => {
+                num("cut", cut as u64);
+                num("healed", healed as u64);
+            }
+            TraceEvent::FaultStorm { moved } => {
+                num("moved", moved as u64);
             }
         }
     }
@@ -633,6 +677,17 @@ pub struct RunSummary {
     pub total_cost: u64,
     /// Ledger `total_energy()`.
     pub total_energy: u64,
+    /// Ledger custom counter `fault_crashes` (optional in the JSONL schema:
+    /// written only when nonzero, parsed as 0 when absent).
+    pub fault_crashes: u64,
+    /// Ledger custom counter `fault_recovers` (optional, see above).
+    pub fault_recovers: u64,
+    /// Ledger custom counter `fault_partitions` (optional, see above).
+    pub fault_partitions: u64,
+    /// Ledger custom counter `fault_heals` (optional, see above).
+    pub fault_heals: u64,
+    /// Ledger custom counter `fault_storms` (optional, see above).
+    pub fault_storms: u64,
 }
 
 impl RunSummary {
@@ -653,6 +708,11 @@ impl RunSummary {
             wireless_losses: ledger.wireless_losses,
             total_cost: ledger.total_cost(),
             total_energy: ledger.total_energy(),
+            fault_crashes: ledger.custom("fault_crashes"),
+            fault_recovers: ledger.custom("fault_recovers"),
+            fault_partitions: ledger.custom("fault_partitions"),
+            fault_heals: ledger.custom("fault_heals"),
+            fault_storms: ledger.custom("fault_storms"),
         }
     }
 }
@@ -816,6 +876,21 @@ impl<W: Write + Send + std::fmt::Debug + 'static> TraceSink for JsonlSink<W> {
             s.total_cost,
             s.total_energy,
         );
+        // Fault counters are optional fields (schema v1 is append-only):
+        // written only when nonzero, so fault-free traces are byte-identical
+        // to those produced before the fault plane existed.
+        for (key, v) in [
+            ("fault_crashes", s.fault_crashes),
+            ("fault_recovers", s.fault_recovers),
+            ("fault_partitions", s.fault_partitions),
+            ("fault_heals", s.fault_heals),
+            ("fault_storms", s.fault_storms),
+        ] {
+            if v != 0 {
+                self.buf.pop(); // reopen the object: drop the closing '}'
+                let _ = write!(self.buf, ",\"{key}\":{v}}}");
+            }
+        }
         self.buf.push('\n');
         if let Some(out) = self.out.as_mut() {
             let _ = out.write_all(self.buf.as_bytes());
@@ -1015,6 +1090,11 @@ pub fn parse_line(line: &str) -> Result<Line, ParseError> {
                 wireless_losses: f.num("wireless_losses")?,
                 total_cost: f.num("total_cost")?,
                 total_energy: f.num("total_energy")?,
+                fault_crashes: f.opt_num("fault_crashes")?.unwrap_or(0),
+                fault_recovers: f.opt_num("fault_recovers")?.unwrap_or(0),
+                fault_partitions: f.opt_num("fault_partitions")?.unwrap_or(0),
+                fault_heals: f.opt_num("fault_heals")?.unwrap_or(0),
+                fault_storms: f.opt_num("fault_storms")?.unwrap_or(0),
             },
         }),
         kind => {
@@ -1105,6 +1185,19 @@ pub fn parse_line(line: &str) -> Result<Line, ParseError> {
                 "combine_batch" => TraceEvent::CombineBatch {
                     mss: mss(&f, "mss")?,
                     size: f.num("size")? as u32,
+                },
+                "fault_crash" => TraceEvent::FaultCrash {
+                    mss: mss(&f, "mss")?,
+                },
+                "fault_recover" => TraceEvent::FaultRecover {
+                    mss: mss(&f, "mss")?,
+                },
+                "fault_partition" => TraceEvent::FaultPartition {
+                    cut: f.num("cut")? as u32,
+                    healed: f.num("healed")? != 0,
+                },
+                "fault_storm" => TraceEvent::FaultStorm {
+                    moved: f.num("moved")? as u32,
                 },
                 other => return err(format!("unknown event kind {other:?}")),
             };
@@ -1216,6 +1309,17 @@ mod tests {
                 mss: MssId(3),
                 size: 12,
             },
+            TraceEvent::FaultCrash { mss: MssId(2) },
+            TraceEvent::FaultRecover { mss: MssId(2) },
+            TraceEvent::FaultPartition {
+                cut: 4,
+                healed: false,
+            },
+            TraceEvent::FaultPartition {
+                cut: 4,
+                healed: true,
+            },
+            TraceEvent::FaultStorm { moved: 9 },
         ]
     }
 

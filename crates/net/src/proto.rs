@@ -123,6 +123,19 @@ pub enum ProtoEvent<M, T> {
         /// The lost payload.
         msg: M,
     },
+    /// The fault plane crashed an MSS (fail-stop with stable state; see
+    /// SCENARIOS.md). Its wired traffic is deferred and its residents
+    /// evacuate; delivered to the protocol so survivors can react.
+    MssCrashed {
+        /// The crashed station.
+        mss: MssId,
+    },
+    /// A crashed MSS recovered with its protocol state intact; deferred
+    /// wired messages are being re-delivered.
+    MssRecovered {
+        /// The recovered station.
+        mss: MssId,
+    },
 }
 
 /// A distributed algorithm (or harness) running on the two-tier network.
@@ -220,6 +233,20 @@ pub trait Protocol: Sized + 'static {
         msg: Self::Msg,
     ) {
         let _ = (ctx, mss, mh, msg);
+    }
+
+    /// The fault plane crashed `mss` (fail-stop with stable state): its
+    /// wired traffic is deferred until recovery and its resident MHs are
+    /// evacuating. Default: no-op — the model's deferral semantics already
+    /// keep safe algorithms safe.
+    fn on_mss_crashed(&mut self, ctx: &mut Ctx<'_, Self::Msg, Self::Timer>, mss: MssId) {
+        let _ = (ctx, mss);
+    }
+
+    /// A crashed `mss` recovered with its protocol state intact; deferred
+    /// wired messages are re-delivered in order right after this callback.
+    fn on_mss_recovered(&mut self, ctx: &mut Ctx<'_, Self::Msg, Self::Timer>, mss: MssId) {
+        let _ = (ctx, mss);
     }
 }
 
@@ -356,6 +383,13 @@ impl<'a, M: Debug + 'static, T: Debug + 'static> Ctx<'a, M, T> {
     /// True when the "disconnected" flag for `mh` is set at `mss`.
     pub fn mh_disconnected_here(&self, mss: MssId, mh: MhId) -> bool {
         self.k.mh_disconnected_here(mss, mh)
+    }
+
+    /// True when the fault plane currently has `mss` crashed (wired traffic
+    /// to and from it is being deferred). Always `false` on fault-free
+    /// configurations.
+    pub fn mss_down(&self, mss: MssId) -> bool {
+        self.k.mss_down(mss)
     }
 
     /// Oracle view of the MH's current cell. Intended for harnesses,

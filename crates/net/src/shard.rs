@@ -507,12 +507,19 @@ fn run_shard(
                         }
                     );
                     let mut rng = decision_rng(spec.seed, rec.id, rec.ctr);
+                    // The era is `rec.ctr` — bumped on every leave/join pair —
+                    // so waypoint/heading derivations replay identically no
+                    // matter which worker processes the decision.
                     let next = spec.pattern.next_cell(
                         &mut rng,
-                        MhId(rec.id),
-                        MssId(rec.cell),
-                        m,
-                        MssId(rec.home),
+                        crate::mobility::MoveCtx {
+                            mh: MhId(rec.id),
+                            from: MssId(rec.cell),
+                            m,
+                            home: MssId(rec.home),
+                            era: rec.ctr as u64,
+                            seed: spec.seed,
+                        },
                     );
                     // The gap clamp *is* the conservative-sync contract: a
                     // join sent in window k may not execute before window

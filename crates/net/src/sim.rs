@@ -203,6 +203,8 @@ impl<P: Protocol> Simulation<P> {
                 ProtoEvent::WirelessLost { mss, mh, msg } => {
                     self.proto.on_wireless_lost(ctx, mss, mh, msg)
                 }
+                ProtoEvent::MssCrashed { mss } => self.proto.on_mss_crashed(ctx, mss),
+                ProtoEvent::MssRecovered { mss } => self.proto.on_mss_recovered(ctx, mss),
             }
         }
     }

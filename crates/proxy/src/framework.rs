@@ -204,6 +204,12 @@ pub struct ProxyReport {
     pub handoffs: u64,
     /// Outputs that needed a search because the client had moved again.
     pub stale_outputs: u64,
+    /// Proxy processes caught on an MSS when it crashed (their wired
+    /// traffic defers until the MSS recovers — fail-stop with stable
+    /// state, so no proxy state is lost).
+    pub proxy_outages: u64,
+    /// Proxy processes still resident on an MSS when it recovered.
+    pub proxy_recoveries: u64,
 }
 
 /// Executes a [`StaticAlgorithm`] at MSS proxies on behalf of mobile
@@ -256,6 +262,8 @@ impl<A: StaticAlgorithm> ProxyRuntime<A> {
                 loc_updates: 0,
                 handoffs: 0,
                 stale_outputs: 0,
+                proxy_outages: 0,
+                proxy_recoveries: 0,
             },
         }
     }
@@ -597,6 +605,26 @@ impl<A: StaticAlgorithm> Protocol for ProxyRuntime<A> {
                 }
             }
         }
+    }
+
+    fn on_mss_crashed(&mut self, _ctx: &mut Ctx<'_, Self::Msg, Self::Timer>, mss: MssId) {
+        // Fail-stop with stable state: proxies resident on the crashed MSS
+        // keep their state, and their wired traffic (inputs, algorithm
+        // messages, handoffs *from* them) defers in the kernel until
+        // recovery. Nothing to migrate — the state is on the down machine —
+        // so the runtime only records the outage. Evacuated clients re-home
+        // through the ordinary on_mh_joined path, whose handoff from the
+        // crashed cell is itself deferred and flushes at recovery.
+        self.report.proxy_outages +=
+            self.proxy_of.iter().filter(|proxy| **proxy == mss).count() as u64;
+    }
+
+    fn on_mss_recovered(&mut self, _ctx: &mut Ctx<'_, Self::Msg, Self::Timer>, mss: MssId) {
+        // The kernel flushes deferred traffic (including pending handoffs
+        // away from the recovered MSS) right after this hook runs; count the
+        // processes whose proxy rode out the outage here.
+        self.report.proxy_recoveries +=
+            self.proxy_of.iter().filter(|proxy| **proxy == mss).count() as u64;
     }
 }
 

@@ -273,6 +273,35 @@ fn combining_under_mobility_recovers_missed_members() {
 }
 
 #[test]
+fn service_rides_out_an_mss_crash() {
+    // An MSS hosting proxies crashes mid-run. Fail-stop with stable state:
+    // deferred traffic flushes at recovery, so every input is still served
+    // and the runtime's recovery hooks observe the outage.
+    for policy in [ProxyPolicy::Fixed, ProxyPolicy::LocalMss] {
+        let cfg = NetworkConfig::new(4, 6)
+            .with_seed(31)
+            .with_mobility(MobilityConfig::moving(400))
+            .with_fault(FaultConfig::none().with_event(
+                500,
+                FaultKind::MssCrash {
+                    mss: 1,
+                    down_for: 2_000,
+                },
+            ));
+        let wl = ProxyWorkload {
+            inputs_per_client: 4,
+            mean_interval: 120,
+        };
+        let (r, sim) = run(cfg, EchoService::new(), policy, wl, 2_000_000);
+        assert_eq!(r.inputs_sent, 24, "{policy:?}");
+        assert_eq!(r.outputs_delivered, 24, "{policy:?}: {r:?}");
+        assert!(r.proxy_outages > 0, "{policy:?}: crash hook fired: {r:?}");
+        assert_eq!(sim.ledger().custom("fault_crashes"), 1);
+        assert_eq!(sim.ledger().custom("fault_recovers"), 1);
+    }
+}
+
+#[test]
 fn deterministic_replay_proxy_runs() {
     let go = || {
         let cfg = NetworkConfig::new(4, 6)

@@ -31,7 +31,9 @@
 //! are byte-identical either way. A `cache: ...` summary line is printed to
 //! stderr at exit.
 
-use mobidist_bench::{exp_group, exp_model, exp_mutex, exp_proxy, exp_scale, exp_serve, Table};
+use mobidist_bench::{
+    exp_fault, exp_group, exp_model, exp_mutex, exp_proxy, exp_scale, exp_serve, Table,
+};
 use std::process::ExitCode;
 
 const EXPERIMENTS: &[(&str, &str)] = &[
@@ -49,6 +51,10 @@ const EXPERIMENTS: &[(&str, &str)] = &[
     ("e11", "exactly-once extension under churn (ref [1])"),
     ("e12", "space-sharded scale curve (million-host churn)"),
     ("e13", "heavy-traffic serving: throughput/latency/fairness"),
+    (
+        "e14",
+        "robustness: mobility zoo x fault injection under load",
+    ),
 ];
 
 fn run_one(name: &str, quick: bool) -> Option<Table> {
@@ -67,6 +73,7 @@ fn run_one(name: &str, quick: bool) -> Option<Table> {
         "e11" => exp_group::e11_exactly_once(quick),
         "e12" => exp_scale::e12_scale_curve(quick),
         "e13" => exp_serve::e13_serving(quick),
+        "e14" => exp_fault::e14_fault(quick),
         _ => return None,
     })
 }
@@ -185,7 +192,7 @@ fn main() -> ExitCode {
     if selected.is_empty() {
         eprintln!(
             "usage: experiments [--quick] [--csv] [--jobs N] [--shards N] [--trace PATH] \
-             [--cache DIR] <e0..e13 | all>..."
+             [--cache DIR] <e0..e14 | all>..."
         );
         print_list();
         return ExitCode::FAILURE;

@@ -16,9 +16,10 @@
 //! Every workload is a fixed `(config, seed)` pair, so the *work done* is
 //! identical from run to run and across machines; only the wall times vary.
 
+use mobidist_bench::exp_fault::RobustnessPoint;
 use mobidist_bench::exp_serve::ServingPoint;
 use mobidist_bench::parallel::map_indexed_with;
-use mobidist_bench::{exp_group, exp_mutex, exp_scale, exp_serve};
+use mobidist_bench::{exp_fault, exp_group, exp_mutex, exp_scale, exp_serve};
 use mobidist_core::prelude::*;
 use mobidist_group::prelude::*;
 use mobidist_net::prelude::*;
@@ -364,6 +365,36 @@ fn serving_matrix() -> Vec<ServingPoint> {
     rows
 }
 
+/// The robustness matrix (E14's waypoint-mobility row): L2, L2C and R2
+/// against crash, partition and storm cells. Asserts the fault plane's
+/// contract — every fault cell finished its fixed work (completion and
+/// safety are asserted inside the runs), recorded exactly the scheduled
+/// fault events, and still made forward progress — so a cell that stalls
+/// under faults fails the report rather than silently shipping.
+fn robustness_matrix() -> Vec<RobustnessPoint> {
+    let rows = exp_fault::robustness_comparison(false);
+    assert_eq!(
+        rows.len(),
+        exp_fault::E14_ALGOS.len() * 3,
+        "robustness matrix must cover every algorithm x fault cell"
+    );
+    for r in &rows {
+        assert!(
+            r.fault_events > 0,
+            "{}/{}: fault cell recorded no fault events",
+            r.algo,
+            r.fault
+        );
+        assert!(
+            r.throughput_per_ktick > 0.0 && r.throughput_per_ktick.is_finite(),
+            "{}/{}: no forward progress under faults",
+            r.algo,
+            r.fault
+        );
+    }
+    rows
+}
+
 fn json_escape_free(s: &str) -> &str {
     // All names in this report are static identifiers; assert rather than
     // escape so a future rename cannot silently emit invalid JSON.
@@ -374,6 +405,7 @@ fn json_escape_free(s: &str) -> &str {
     s
 }
 
+#[allow(clippy::too_many_arguments)] // one flat serializer, one section per arg
 fn to_json(
     kernel: &[KernelRow],
     sweeps: &[SweepRow],
@@ -381,6 +413,7 @@ fn to_json(
     shard_hosts: usize,
     shard: &[ShardRow],
     serving: &[ServingPoint],
+    robustness: &[RobustnessPoint],
     cache: &CacheRow,
 ) -> String {
     let mut j = format!("{{\n  \"cpus\": {},\n  \"kernel\": [\n", cpus());
@@ -464,6 +497,22 @@ fn to_json(
         _ => 0.0,
     };
     let _ = writeln!(j, "  ], \"wireless_reduction\": {wifi_reduction:.2}}},");
+    j.push_str("  \"robustness\": [\n");
+    for (i, r) in robustness.iter().enumerate() {
+        let _ = writeln!(
+            j,
+            "    {{\"algo\": \"{}\", \"fault\": \"{}\", \"throughput_per_ktick\": {:.2}, \
+             \"p95\": {}, \"slowdown\": {:.2}, \"fault_events\": {}}}{}",
+            json_escape_free(r.algo),
+            json_escape_free(r.fault),
+            r.throughput_per_ktick,
+            r.p95,
+            r.slowdown,
+            r.fault_events,
+            if i + 1 < robustness.len() { "," } else { "" }
+        );
+    }
+    j.push_str("  ],\n");
     let _ = writeln!(
         j,
         "  \"cache\": {{\"name\": \"{}\", \"cold_ms\": {:.3}, \"warm_disk_ms\": {:.3}, \
@@ -567,6 +616,15 @@ fn main() {
         );
     }
 
+    println!("\nrobustness (E14 waypoint row: faults vs fault-free baseline):");
+    let robustness = robustness_matrix();
+    for r in &robustness {
+        println!(
+            "  {:<4} under {:<9}  thr {:>7.2} /ktick  p95 {:>6}  slowdown {:>5.2}x  events {}",
+            r.algo, r.fault, r.throughput_per_ktick, r.p95, r.slowdown, r.fault_events
+        );
+    }
+
     println!("\nrun cache (cold vs warm, median of 3):");
     let cache = cache_matrix();
     println!(
@@ -585,6 +643,7 @@ fn main() {
         shard_hosts,
         &shard,
         &serving,
+        &robustness,
         &cache,
     );
     std::fs::write("BENCH_kernel.json", &json).expect("write BENCH_kernel.json");

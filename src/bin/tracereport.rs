@@ -46,7 +46,9 @@ schema (version 1) — one flat JSON object per line:
   run_end    events + the final ledger counters: fixed_msgs,
              wireless_msgs, searches, re_searches, search_failures, moves,
              handoffs, disconnects, reconnects, doze_interruptions,
-             wireless_losses, total_cost, total_energy
+             wireless_losses, total_cost, total_energy; fault-injection
+             runs add fault_crashes, fault_recovers, fault_partitions,
+             fault_heals, fault_storms (optional, omitted when zero)
   events     (fields beyond the envelope)
     fixed_send     from, to          charged fixed-network send
     fixed_recv     at, from          fixed-network delivery
@@ -74,6 +76,12 @@ schema (version 1) — one flat JSON object per line:
     shard_sync     shard, window     sharded kernel: window barrier crossed
     shard_recv     shard, from, to   sharded kernel: cross-cell wired
                                      delivery (charged as one fixed_msg)
+    fault_crash    mss               injected MSS fail-stop crash
+    fault_recover  mss               crashed MSS back up, deferred wired
+                                     traffic flushed
+    fault_partition cut, healed      wired-plane partition at `cut` raised
+                                     (healed=0) or healed (healed=1)
+    fault_storm    moved             handoff storm forced `moved` hosts out
 
 count identities checked by --check (trace-derived == ledger):
   fixed_msgs    = fixed_send + search_fail + shard_recv
@@ -82,6 +90,11 @@ count identities checked by --check (trace-derived == ledger):
   moves         = handoff_end   handoffs    = handoff_end(prev≠to)
   plus search_failures, disconnects, reconnects, doze_interruptions,
   wireless_losses matching their event counts one-to-one.
+  Fault identities: fault_crashes = fault_crash events, fault_recovers =
+  fault_recover events, fault_partitions = fault_partition(healed=0),
+  fault_heals = fault_partition(healed=1), fault_storms = fault_storm
+  events — fault events charge no messages, so the message identities
+  above are unchanged by fault injection.
   Combining runs (label `l2c`): when a run has both `combine_batch` and
   `cs_enter` events, the batch sizes must sum to the `cs_enter` count —
   every grant is delivered in exactly one batch. Runs with only one of
@@ -108,6 +121,10 @@ struct RunAcc {
     handoffs: u64,
     /// Sum of `combine_batch` sizes: grants/outputs delivered in batches.
     combined_outputs: u64,
+    /// `fault_partition` events with healed=0 (partitions raised).
+    partitions_raised: u64,
+    /// `fault_partition` events with healed=1 (partitions healed).
+    partitions_healed: u64,
     last_fixed_send: Option<SimTime>,
     last_wireless_send: Option<SimTime>,
     fixed_gaps: Histogram,
@@ -127,6 +144,8 @@ impl RunAcc {
             re_searches: 0,
             handoffs: 0,
             combined_outputs: 0,
+            partitions_raised: 0,
+            partitions_healed: 0,
             last_fixed_send: None,
             last_wireless_send: None,
             fixed_gaps: Histogram::default(),
@@ -163,6 +182,8 @@ impl RunAcc {
                 to, prev: Some(p), ..
             } if p != to => self.handoffs += 1,
             TraceEvent::CombineBatch { size, .. } => self.combined_outputs += size as u64,
+            TraceEvent::FaultPartition { healed: false, .. } => self.partitions_raised += 1,
+            TraceEvent::FaultPartition { healed: true, .. } => self.partitions_healed += 1,
             _ => {}
         }
         if ev.fixed_msgs() > 0 {
@@ -225,7 +246,29 @@ impl RunAcc {
                 s.wireless_losses,
             ),
         ];
-        for (name, derived, ledger) in pairs {
+        // Fault identities: every injected fault emits exactly one trace
+        // event and bumps exactly one ledger counter, so they reconcile
+        // one-to-one (partitions split by the `healed` flag).
+        let fault_pairs: [(&str, u64, u64); 5] = [
+            (
+                "fault_crashes",
+                m.kind_count("fault_crash"),
+                s.fault_crashes,
+            ),
+            (
+                "fault_recovers",
+                m.kind_count("fault_recover"),
+                s.fault_recovers,
+            ),
+            (
+                "fault_partitions",
+                self.partitions_raised,
+                s.fault_partitions,
+            ),
+            ("fault_heals", self.partitions_healed, s.fault_heals),
+            ("fault_storms", m.kind_count("fault_storm"), s.fault_storms),
+        ];
+        for &(name, derived, ledger) in pairs.iter().chain(fault_pairs.iter()) {
             if derived != ledger {
                 self.errors.push(format!(
                     "{name}: trace-derived {derived} != ledger {ledger}"
@@ -330,6 +373,19 @@ impl RunAcc {
                     m.cs_hold.max(),
                 );
             }
+        }
+        let faults = m.kind_count("fault_crash")
+            + m.kind_count("fault_partition")
+            + m.kind_count("fault_storm");
+        if faults > 0 {
+            println!(
+                "  faults: crashes={} recovers={} partitions={} heals={} storms={}",
+                m.kind_count("fault_crash"),
+                m.kind_count("fault_recover"),
+                self.partitions_raised,
+                self.partitions_healed,
+                m.kind_count("fault_storm"),
+            );
         }
         if m.handoff_gap.count() > 0 {
             println!(

@@ -1,0 +1,108 @@
+//! Negative coverage for `tracereport --check`: the ledger reconciliation
+//! must actually *fail* on an incomplete trace, not just pass on complete
+//! ones. The test produces a real E14 trace through the CLI, verifies it
+//! checks green, then surgically drops one `fault_recover` event —
+//! renumbering the sequence numbers and the `run_end` event count so the
+//! tamper is invisible to the density checks — and asserts the fault
+//! identity (`fault_recover` events == ledger `fault_recovers`) is the
+//! check that catches it.
+
+use std::path::Path;
+use std::process::Command;
+
+/// Extracts the u64 value of `"key":N` from a trace line.
+fn field(line: &str, key: &str) -> Option<u64> {
+    let pat = format!("\"{key}\":");
+    let start = line.find(&pat)? + pat.len();
+    let rest = &line[start..];
+    let end = rest
+        .find(|c: char| !c.is_ascii_digit())
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
+
+/// Replaces `"key":OLD` with `"key":NEW` in a trace line.
+fn set_field(line: &str, key: &str, old: u64, new: u64) -> String {
+    line.replacen(&format!("\"{key}\":{old}"), &format!("\"{key}\":{new}"), 1)
+}
+
+fn check(trace: &Path) -> std::process::Output {
+    Command::new(env!("CARGO_BIN_EXE_tracereport"))
+        .arg("--check")
+        .arg(trace)
+        .output()
+        .expect("run tracereport")
+}
+
+#[test]
+fn check_rejects_a_trace_missing_one_fault_event() {
+    let dir = std::env::temp_dir().join(format!("mobidist-tamper-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("create temp dir");
+    let trace = dir.join("e14.jsonl");
+
+    let status = Command::new(env!("CARGO_BIN_EXE_experiments"))
+        .args(["--quick", "--trace"])
+        .arg(&trace)
+        .arg("e14")
+        .stdout(std::process::Stdio::null())
+        .status()
+        .expect("run experiments");
+    assert!(status.success(), "experiments --quick --trace e14 failed");
+
+    let clean = check(&trace);
+    assert!(
+        clean.status.success(),
+        "untampered trace must check green: {}",
+        String::from_utf8_lossy(&clean.stderr)
+    );
+
+    // Drop the first fault_recover event; keep seq density and the
+    // run_end event count consistent so only the fault identity can
+    // catch the omission.
+    let text = std::fs::read_to_string(&trace).expect("read trace");
+    let victim = text
+        .lines()
+        .find(|l| l.contains("\"ev\":\"fault_recover\""))
+        .expect("an E14 crash cell must emit fault_recover");
+    let run = field(victim, "run").expect("victim run id");
+    let victim_seq = field(victim, "seq").expect("victim seq");
+    let mut tampered = String::with_capacity(text.len());
+    let mut dropped = false;
+    for line in text.lines() {
+        if !dropped && line == victim {
+            dropped = true;
+            continue;
+        }
+        let mut line = line.to_owned();
+        if field(&line, "run") == Some(run) {
+            match field(&line, "seq") {
+                Some(seq) if seq > victim_seq => {
+                    line = set_field(&line, "seq", seq, seq - 1);
+                }
+                None if line.contains("\"ev\":\"run_end\"") => {
+                    let events = field(&line, "events").expect("run_end events");
+                    line = set_field(&line, "events", events, events - 1);
+                }
+                _ => {}
+            }
+        }
+        tampered.push_str(&line);
+        tampered.push('\n');
+    }
+    assert!(dropped, "victim line not found on rewrite");
+    std::fs::write(&trace, tampered).expect("write tampered trace");
+
+    let bad = check(&trace);
+    let stderr = String::from_utf8_lossy(&bad.stderr);
+    assert!(
+        !bad.status.success(),
+        "tampered trace must fail --check, got: {stderr}"
+    );
+    assert!(
+        stderr.contains("fault_recovers"),
+        "failure must name the fault identity, got: {stderr}"
+    );
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
