@@ -1,6 +1,6 @@
 # Convenience targets; see ci/check.sh for the full gate.
 
-.PHONY: build test check bench perf quick tracecheck cachecheck scalecheck
+.PHONY: build test check bench perf quick tracecheck cachecheck scalecheck shardbench
 
 build:
 	cargo build --workspace --release
@@ -19,16 +19,23 @@ bench:
 perf:
 	cargo run --release --bin perfreport
 
+# Re-time only the sharded legs (E12 scale curve + shard throughput
+# matrix) and splice them into the existing BENCH_kernel.json, leaving
+# the other sections' numbers untouched.
+shardbench:
+	cargo run --release --bin perfreport -- --shard-only
+
 # Fast small-scale experiment tables.
 quick:
 	cargo run --release --bin experiments -- all --quick
 
-# Capture quick E2 + E13 traces, validate the schema, and diff the
-# trace-derived message counts against the cost ledger — including the
-# combining identity on E13's L2C cells (see OBSERVABILITY.md).
+# Capture quick E2 + E12 + E13 + E14 traces, validate the schema, and diff
+# the trace-derived message counts against the cost ledger — including the
+# combining identity on E13's L2C cells and the sharded-kernel sync/recv
+# identities on E12's part files (see OBSERVABILITY.md).
 tracecheck:
 	cargo build --release --bin experiments --bin tracereport
-	./target/release/experiments e2 e13 e14 --quick --trace target/tracecheck.jsonl > /dev/null
+	./target/release/experiments e2 e12 e13 e14 --quick --trace target/tracecheck.jsonl > /dev/null
 	./target/release/tracereport --check target/tracecheck.jsonl
 
 # Run the full sweep set twice against one cache directory and diff the

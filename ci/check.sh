@@ -123,6 +123,30 @@ if [[ $fast -eq 0 ]]; then
   cargo test --release -q -p mobidist-bench --test shard_equivalence
   cargo build --release --bin scalecheck
   ./target/release/scalecheck --shards 4
+
+  # Throughput-sanity leg: on a multi-core machine the 8-shard quick E12
+  # must not be slower than the 1-shard run by more than 2x — a sync layer
+  # whose overhead swamps the parallelism would pass every bit-identity
+  # leg above while silently defeating the point of sharding. A 1-CPU
+  # runner time-slices the workers, so there the leg is skipped.
+  cpus=$(nproc 2>/dev/null || echo 1)
+  if (( cpus > 1 )); then
+    echo "==> shard throughput-sanity gate"
+    t0=$(date +%s%N)
+    ./target/release/experiments e12 --quick --shards 1 > /dev/null
+    t1=$(date +%s%N)
+    ./target/release/experiments e12 --quick --shards 8 > /dev/null
+    t2=$(date +%s%N)
+    one_ms=$(( (t1 - t0) / 1000000 ))
+    eight_ms=$(( (t2 - t1) / 1000000 ))
+    echo "    1-shard ${one_ms} ms, 8-shard ${eight_ms} ms"
+    if (( eight_ms > one_ms * 2 )); then
+      echo "shard gate: 8-shard quick E12 (${eight_ms} ms) more than 2x slower than 1-shard (${one_ms} ms)" >&2
+      exit 1
+    fi
+  else
+    echo "==> shard throughput-sanity gate skipped: cpus == 1 (fan-out cannot beat a single CPU)"
+  fi
 fi
 
 echo "==> OK"

@@ -28,6 +28,19 @@ pub fn default_jobs() -> usize {
     std::thread::available_parallelism().map_or(1, |n| n.get())
 }
 
+/// True when spreading work over `jobs` threads would oversubscribe the
+/// machine: more than one worker contending for a single hardware thread.
+///
+/// On a 1-CPU box the fan-out buys no concurrency and the queue/channel
+/// overhead plus context switches make "parallel" runs *slower* than the
+/// sequential loop (the sub-1× speedups `perfreport` used to record).
+/// [`map_indexed_with`] consults this to fall back to the sequential path —
+/// which is byte-identical by the ordering guarantee — and `perfreport`
+/// uses it to mark sweep rows instead of reporting misleading slowdowns.
+pub fn oversubscribed(jobs: usize) -> bool {
+    jobs > 1 && std::thread::available_parallelism().map_or(1, |n| n.get()) == 1
+}
+
 /// Applies `f` to every `(index, item)` pair on up to `jobs` scoped worker
 /// threads and returns the results **in input order**.
 ///
@@ -92,7 +105,12 @@ where
     T: Send,
 {
     let n = items.len();
-    let jobs = jobs.max(1).min(n.max(1));
+    let mut jobs = jobs.max(1).min(n.max(1));
+    if oversubscribed(jobs) {
+        // Spawning threads a 1-CPU machine must time-slice only adds
+        // overhead; the sequential path produces the same bytes.
+        jobs = 1;
+    }
     if jobs == 1 || n <= 1 {
         // Sequential fallback: the reference path parallel runs must match.
         let mut w = make_state();
@@ -230,5 +248,17 @@ mod tests {
     fn default_jobs_respects_env_floor() {
         // Whatever the environment, the contract is jobs >= 1.
         assert!(default_jobs() >= 1);
+    }
+
+    #[test]
+    fn oversubscription_is_about_extra_threads() {
+        // One worker can never oversubscribe, whatever the machine; more
+        // than one only oversubscribes a single-CPU box, so the two sides
+        // of the predicate must agree with the machine's parallelism.
+        assert!(!oversubscribed(0));
+        assert!(!oversubscribed(1));
+        let single_cpu = std::thread::available_parallelism().map_or(1, |n| n.get()) == 1;
+        assert_eq!(oversubscribed(2), single_cpu);
+        assert_eq!(oversubscribed(64), single_cpu);
     }
 }

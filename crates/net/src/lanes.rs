@@ -1,0 +1,323 @@
+//! Lock-free synchronisation primitives for the space-sharded kernel.
+//!
+//! Two pieces, both purpose-built for the round-structured execution of
+//! [`shard`](crate::shard) and useful to nothing else:
+//!
+//! * [`Lane`] — a double-buffered single-producer/single-consumer transfer
+//!   lane. The sharded kernel keeps one lane per ordered worker pair
+//!   `(src, dst)`, so a cross-shard send is a plain `Vec::push` by its one
+//!   producer: no mutex, no CAS loop, no sharing within a round.
+//! * [`EpochBarrier`] — a sense-reversing barrier over one atomic epoch
+//!   counter, with a spin→yield→park slow path. One `wait` per round
+//!   replaces the two `std::sync::Barrier` rendezvous the kernel used to
+//!   pay per window.
+//!
+//! # The round protocol
+//!
+//! Workers advance in lock-step *rounds* separated by exactly one barrier.
+//! During round `r` the producer of a lane appends only to buffer `r % 2`
+//! and the consumer drains only buffer `(r + 1) % 2` — the buffer the
+//! producer filled in round `r - 1`. The two ends therefore never touch the
+//! same buffer in the same round, and the barrier between rounds orders
+//! round `r`'s writes before round `r + 1`'s reads. [`Lane::publish`]
+//! additionally release-stores the producer's finished round and
+//! [`Lane::take`] acquire-loads it, so each handoff carries its own
+//! happens-before edge (and a `debug_assert` that the protocol was kept)
+//! rather than leaning on the barrier alone.
+//!
+//! This is the sole module in the workspace that uses `unsafe`; the two
+//! blocks below are safe exactly because the round protocol gives each
+//! buffer a unique accessor per round.
+
+use std::cell::UnsafeCell;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::thread::Thread;
+
+/// A double-buffered SPSC lane between one ordered worker pair.
+///
+/// See the [module docs](self) for the round protocol that makes the
+/// interior mutability sound. All methods take `&self`; the *caller*
+/// guarantees that at most one thread plays producer and at most one plays
+/// consumer, and that both agree on the current round.
+#[derive(Debug, Default)]
+pub struct Lane<T> {
+    /// `bufs[r % 2]` is written by the producer during round `r` and
+    /// drained by the consumer during round `r + 1`.
+    bufs: [UnsafeCell<Vec<T>>; 2],
+    /// Number of rounds the producer has published: after
+    /// `publish(r)` this reads `r + 1`. Release/acquire pairs with
+    /// [`Lane::take`].
+    epoch: AtomicU64,
+}
+
+// SAFETY: a Lane is shared between exactly one producer and one consumer
+// thread, which access disjoint buffers within a round (see module docs);
+// the publish/take release–acquire pair orders cross-round access.
+unsafe impl<T: Send> Sync for Lane<T> {}
+
+impl<T> Lane<T> {
+    /// An empty lane.
+    pub fn new() -> Self {
+        Lane {
+            bufs: [UnsafeCell::new(Vec::new()), UnsafeCell::new(Vec::new())],
+            epoch: AtomicU64::new(0),
+        }
+    }
+
+    /// Appends `item` to the round-`round` buffer. Producer side only.
+    #[inline]
+    pub fn push(&self, round: u64, item: T) {
+        debug_assert!(
+            self.epoch.load(Ordering::Relaxed) <= round,
+            "producer pushed into an already-published round"
+        );
+        // SAFETY: only the lane's single producer touches buffer
+        // `round % 2` during round `round`; the consumer is draining the
+        // other buffer (module docs).
+        let buf = unsafe { &mut *self.bufs[(round % 2) as usize].get() };
+        buf.push(item);
+    }
+
+    /// Marks round `round` finished on the producer side: every `push` for
+    /// the round happens-before a subsequent [`take`](Self::take) of it.
+    #[inline]
+    pub fn publish(&self, round: u64) {
+        self.epoch.store(round + 1, Ordering::Release);
+    }
+
+    /// Swaps the round-`round` buffer out into `scratch` (which must be
+    /// empty and comes back carrying the round's items). Consumer side
+    /// only, and only for a round the producer has already published.
+    #[inline]
+    pub fn take(&self, round: u64, scratch: &mut Vec<T>) {
+        debug_assert!(scratch.is_empty(), "drain scratch must start empty");
+        let published = self.epoch.load(Ordering::Acquire);
+        debug_assert!(
+            published > round,
+            "consumer drained round {round} before its publish ({published})"
+        );
+        // SAFETY: the producer published round `round` (acquire load
+        // above), is at least one barrier past it, and now writes only the
+        // other buffer; the single consumer owns this one (module docs).
+        let buf = unsafe { &mut *self.bufs[(round % 2) as usize].get() };
+        std::mem::swap(buf, scratch);
+    }
+}
+
+/// How many spin iterations a late arriver burns before yielding, and how
+/// many yields before parking. Spinning is only worthwhile when the peers
+/// are genuinely running on other cores; an oversubscribed machine (more
+/// parties than hardware threads) must park immediately instead — every
+/// cycle a waiter burns is a cycle stolen from the very peer it is waiting
+/// for, which is why [`EpochBarrier::new`] disables the spin phase there.
+const SPIN_LIMIT: u32 = 64;
+const YIELD_LIMIT: u32 = 8;
+
+/// A sense-reversing barrier for a fixed party count, built on one atomic
+/// epoch plus park/unpark.
+///
+/// The "sense" is the epoch counter itself: a thread samples the epoch on
+/// arrival and leaves once it changes, so consecutive barrier rounds cannot
+/// be confused and the barrier is reusable without any reset phase. The
+/// last arriver (the leader) resets the arrival count, bumps the epoch, and
+/// unparks every waiter.
+#[derive(Debug)]
+pub struct EpochBarrier {
+    parties: usize,
+    /// Whether late arrivers spin/yield before parking; false when the
+    /// parties outnumber the machine's hardware threads (see
+    /// [`SPIN_LIMIT`]). Purely a scheduling hint — results are identical
+    /// either way.
+    spin: bool,
+    arrived: AtomicUsize,
+    epoch: AtomicU64,
+    /// Threads that gave up spinning and parked; drained by the leader.
+    /// Mutex-guarded, but only ever touched on the already-slow park path.
+    parked: Mutex<Vec<Thread>>,
+}
+
+impl EpochBarrier {
+    /// A barrier for `parties` threads.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `parties == 0`.
+    pub fn new(parties: usize) -> Self {
+        assert!(parties > 0, "a barrier needs at least one party");
+        let cpus = std::thread::available_parallelism().map_or(1, |n| n.get());
+        EpochBarrier {
+            parties,
+            spin: parties <= cpus,
+            arrived: AtomicUsize::new(0),
+            epoch: AtomicU64::new(0),
+            parked: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// The epoch (number of completed barrier rounds) observed now.
+    pub fn epoch(&self) -> u64 {
+        self.epoch.load(Ordering::Acquire)
+    }
+
+    /// Blocks until all parties have called `wait` for the current round.
+    ///
+    /// Everything sequenced before any party's `wait` happens-before
+    /// everything sequenced after every party's `wait` (the arrival
+    /// counter's RMW chain into the leader, the epoch release-store out of
+    /// it).
+    pub fn wait(&self) {
+        let epoch = self.epoch.load(Ordering::Acquire);
+        if self.arrived.fetch_add(1, Ordering::AcqRel) + 1 == self.parties {
+            // Leader: open the next round, then release every waiter. The
+            // arrival reset must precede the epoch bump — nobody can arrive
+            // for the next round before observing the new epoch.
+            self.arrived.store(0, Ordering::Relaxed);
+            self.epoch.store(epoch + 1, Ordering::Release);
+            let waiters = std::mem::take(&mut *self.parked.lock().expect("barrier poisoned"));
+            for t in waiters {
+                t.unpark();
+            }
+            return;
+        }
+        if self.spin {
+            for _ in 0..SPIN_LIMIT {
+                if self.epoch.load(Ordering::Acquire) != epoch {
+                    return;
+                }
+                std::hint::spin_loop();
+            }
+            for _ in 0..YIELD_LIMIT {
+                if self.epoch.load(Ordering::Acquire) != epoch {
+                    return;
+                }
+                std::thread::yield_now();
+            }
+        }
+        loop {
+            {
+                let mut parked = self.parked.lock().expect("barrier poisoned");
+                if self.epoch.load(Ordering::Acquire) != epoch {
+                    return;
+                }
+                parked.push(std::thread::current());
+            }
+            // A leader that drained the list after our push has left us an
+            // unpark token, so this park cannot be lost; a stale token from
+            // an earlier round at worst costs one trip round the loop.
+            std::thread::park();
+            if self.epoch.load(Ordering::Acquire) != epoch {
+                return;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicBool;
+
+    #[test]
+    fn single_party_barrier_never_blocks() {
+        let b = EpochBarrier::new(1);
+        for round in 0..100 {
+            b.wait();
+            assert_eq!(b.epoch(), round + 1);
+        }
+    }
+
+    #[test]
+    fn barrier_separates_rounds() {
+        // Each thread bumps a per-round counter; after the barrier every
+        // thread must observe the full party count for the round, over
+        // enough rounds to push late arrivers through the park path.
+        const PARTIES: usize = 4;
+        const ROUNDS: usize = 200;
+        let barrier = EpochBarrier::new(PARTIES);
+        let counts: Vec<AtomicUsize> = (0..ROUNDS).map(|_| AtomicUsize::new(0)).collect();
+        std::thread::scope(|scope| {
+            for _ in 0..PARTIES {
+                scope.spawn(|| {
+                    for c in &counts {
+                        c.fetch_add(1, Ordering::Relaxed);
+                        barrier.wait();
+                        assert_eq!(c.load(Ordering::Relaxed), PARTIES);
+                    }
+                });
+            }
+        });
+        assert_eq!(barrier.epoch(), ROUNDS as u64);
+    }
+
+    #[test]
+    fn lane_hands_rounds_across_threads() {
+        let lane: Lane<u64> = Lane::new();
+        let barrier = EpochBarrier::new(2);
+        const ROUNDS: u64 = 500;
+        std::thread::scope(|scope| {
+            scope.spawn(|| {
+                // Producer: round r carries the values r*3 .. r*3+2.
+                for r in 0..ROUNDS {
+                    for i in 0..3 {
+                        lane.push(r, r * 3 + i);
+                    }
+                    lane.publish(r);
+                    barrier.wait();
+                }
+            });
+            scope.spawn(|| {
+                let mut scratch = Vec::new();
+                for r in 0..ROUNDS {
+                    barrier.wait();
+                    lane.take(r, &mut scratch);
+                    assert_eq!(scratch, [r * 3, r * 3 + 1, r * 3 + 2]);
+                    scratch.clear();
+                }
+            });
+        });
+    }
+
+    #[test]
+    fn lane_take_recycles_capacity() {
+        let lane: Lane<u64> = Lane::new();
+        let mut scratch = Vec::new();
+        for round in 0..10 {
+            for i in 0..100 {
+                lane.push(round, i);
+            }
+            lane.publish(round);
+            lane.take(round, &mut scratch);
+            assert_eq!(scratch.len(), 100);
+            scratch.clear();
+            // Round parity alternates buffers, so capacity settles after
+            // both have grown once and no further allocation occurs.
+            if round >= 2 {
+                assert!(scratch.capacity() >= 100);
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one party")]
+    fn zero_party_barrier_is_rejected() {
+        let _ = EpochBarrier::new(0);
+    }
+
+    #[test]
+    fn parked_waiters_are_released() {
+        // Force the park path: one thread arrives long before the other.
+        let barrier = EpochBarrier::new(2);
+        let released = AtomicBool::new(false);
+        std::thread::scope(|scope| {
+            scope.spawn(|| {
+                barrier.wait();
+                released.store(true, Ordering::Release);
+            });
+            std::thread::sleep(std::time::Duration::from_millis(50));
+            assert!(!released.load(Ordering::Acquire));
+            barrier.wait();
+        });
+        assert!(released.load(Ordering::Acquire));
+    }
+}

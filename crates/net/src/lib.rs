@@ -60,6 +60,7 @@ pub mod hash;
 pub mod host;
 pub mod ids;
 pub mod kernel;
+pub mod lanes;
 pub mod latency;
 pub mod ledger;
 pub mod metrics;

@@ -249,12 +249,18 @@ pub enum TraceEvent {
     /// A conservative-sync barrier in a space-sharded run: the shard
     /// finished a lookahead window and exchanged cross-shard traffic. The
     /// emission time is the window-end time, so per-shard `(t, seq)` order
-    /// is preserved.
+    /// is preserved. Only *processed* windows emit a sync; a stretch the
+    /// kernel fast-forwarded over in one barrier round is folded into the
+    /// next sync's `skipped` count, so `Σ (1 + skipped)` over a shard's
+    /// syncs equals the run's total window count.
     ShardSync {
         /// The reporting shard.
         shard: u32,
         /// Zero-based window index.
         window: u64,
+        /// Empty windows fast-forwarded over immediately before this one
+        /// (serialized only when non-zero; schema-additive).
+        skipped: u64,
     },
     /// A wired message was delivered out of a cross-shard mailbox. The
     /// sharded kernel charges wired messages at *delivery*, so each
@@ -441,9 +447,16 @@ impl TraceEvent {
                 num("fp_hi", fp_hi);
                 num("fp_lo", fp_lo);
             }
-            TraceEvent::ShardSync { shard, window } => {
+            TraceEvent::ShardSync {
+                shard,
+                window,
+                skipped,
+            } => {
                 num("shard", shard as u64);
                 num("window", window);
+                if skipped > 0 {
+                    num("skipped", skipped);
+                }
             }
             TraceEvent::ShardRecv { shard, from, to } => {
                 num("shard", shard as u64);
@@ -1176,6 +1189,7 @@ pub fn parse_line(line: &str) -> Result<Line, ParseError> {
                 "shard_sync" => TraceEvent::ShardSync {
                     shard: f.num("shard")? as u32,
                     window: f.num("window")?,
+                    skipped: f.opt_num("skipped")?.unwrap_or(0),
                 },
                 "shard_recv" => TraceEvent::ShardRecv {
                     shard: f.num("shard")? as u32,
@@ -1299,6 +1313,12 @@ mod tests {
             TraceEvent::ShardSync {
                 shard: 2,
                 window: 17,
+                skipped: 0,
+            },
+            TraceEvent::ShardSync {
+                shard: 0,
+                window: 40,
+                skipped: 22,
             },
             TraceEvent::ShardRecv {
                 shard: 1,

@@ -4,9 +4,10 @@
 //! ideal for protocol work, but a single thread and a global total order are
 //! the wrong shape for populations six orders of magnitude above the paper's
 //! examples. This module shards the *space* of the simulation instead: the
-//! `M` MSS cells are block-partitioned across `S` workers, each worker owns
-//! the hosts currently resident in its cells, and the workers advance a
-//! shared logical clock with **conservative time synchronisation**.
+//! `M` MSS cells are partitioned across `S` workers by initial host weight
+//! (see [`plan_partition`]), each worker owns the hosts currently resident
+//! in its cells, and the workers advance a shared logical clock with
+//! **conservative time synchronisation**.
 //!
 //! # Lookahead and windows
 //!
@@ -18,13 +19,28 @@
 //! pops was already enqueued locally, and nothing a *remote* worker does in
 //! the same window can affect it, because every cross-cell transfer sent in
 //! window `k` is timestamped `≥ (k+1)W` (all cross-cell delays are clamped
-//! to `≥ W`). At the end of each window the workers synchronise twice:
+//! to `≥ W`).
 //!
-//! 1. **process barrier** — every worker has popped all events `< (k+1)W`
-//!    and published its outgoing transfers;
-//! 2. each worker drains its own inbound mailbox into its local queue;
-//! 3. **drain barrier** — nobody starts window `k+1` (and therefore nobody
-//!    *sends* into a mailbox again) until every mailbox is drained.
+//! Workers exchange transfers over per-`(src, dst)` double-buffered SPSC
+//! [`Lane`]s and meet at **one** sense-reversing [`EpochBarrier`] per
+//! window (the seed implementation paid two `std::sync::Barrier` rendezvous
+//! and a mutex per send). Each barrier round `r` runs, per worker:
+//!
+//! 1. **drain** — swap out the buffer every producer filled in round
+//!    `r - 1` (the lane's epoch check proves nobody is still writing it),
+//!    k-way-merge the buffers in `(arrival, src_cell, src_seq)` order, and
+//!    push into the local queue;
+//! 2. **process** — pop all events `< (k+1)W`, appending outgoing transfers
+//!    to the round-`r` side of each lane (no lock: one producer per lane);
+//! 3. **publish + barrier** — release the round on every outgoing lane,
+//!    post the worker's next pending tick, and cross the barrier once.
+//!
+//! After the barrier every worker sees every worker's next pending tick and
+//! deterministically **fast-forwards**: if the earliest pending event or
+//! in-flight arrival anywhere lies in window `j > k + 1`, the next round
+//! processes window `j` directly — one barrier round instead of `j - k`
+//! — and the skipped stretch is recorded on the next
+//! [`TraceEvent::ShardSync`]'s `skipped` count.
 //!
 //! # Determinism
 //!
@@ -37,16 +53,22 @@
 //! * hosts interact only with the cell they occupy, and a host's entire
 //!   record travels inside its single pending event, so no two workers ever
 //!   share mutable host state;
-//! * **every** cross-cell transfer goes through a mailbox, *including*
+//! * **every** cross-cell transfer goes through a lane, *including*
 //!   transfers whose destination cell lives on the sending worker — the
-//!   queue/mailbox residency of any in-flight event is therefore identical
+//!   queue/lane residency of any in-flight event is therefore identical
 //!   at every `S`;
-//! * mailbox drains sort by `(arrival, source cell, per-worker send seq)`
-//!   before insertion, so the commit order at a destination never depends
-//!   on thread timing;
-//! * ledger counters are commutative sums ([`CostLedger::merge`]) and the
-//!   final digest hashes per-host state in `MhId` order, so neither depends
-//!   on how hosts were partitioned.
+//! * lane drains merge in `(arrival, source cell, per-worker send seq)`
+//!   order — a total order, because a worker's `src_cell`s are cells it
+//!   owns — so the commit order at a destination never depends on thread
+//!   timing *or* on which lane carried the transfer;
+//! * the fast-forward jump is a pure function of the global minimum pending
+//!   tick, which is partition-independent (the union of queue contents and
+//!   in-flight transfers does not depend on who owns what), so every worker
+//!   — and every shard count — skips exactly the same windows;
+//! * cell ownership is planned once, before the workers start, from the
+//!   spec alone; ledger counters are commutative sums
+//!   ([`CostLedger::merge`]) and the final digest hashes per-host state in
+//!   `MhId` order, so neither depends on how cells were partitioned.
 //!
 //! # Workload and charging
 //!
@@ -59,18 +81,20 @@
 //! [`TraceEvent::ShardRecv`] — so `tracereport --check`'s
 //! `fixed_msgs` identity holds per shard with no special casing. Leaves and
 //! joins emit the ordinary `HandoffBegin`/`HandoffEnd` events, keeping the
-//! `moves`/`handoffs` identities intact, and every window boundary emits a
-//! [`TraceEvent::ShardSync`] stamped at the window-end time so per-shard
-//! `(t, seq)` stays strictly increasing.
+//! `moves`/`handoffs` identities intact, and every *processed* window
+//! boundary emits a [`TraceEvent::ShardSync`] stamped at the window-end
+//! time so per-shard `(t, seq)` stays strictly increasing; summing
+//! `1 + skipped` over a shard's syncs recovers the full window count.
 //!
 //! # Memory
 //!
 //! There is no per-host array at all: a host's record (20 bytes) lives
 //! inside its one pending event, so resident state is one queue entry per
 //! host — tens of bytes — and the only allocations on the hot path are the
-//! amortised growth of queues and mailboxes, which are pooled per worker
-//! and recycled every window (`mem::swap` with a scratch buffer, never a
-//! fresh `Vec`).
+//! amortised growth of the queues and lane buffers. Lane buffers circulate
+//! between each lane and its consumer's drain scratch (`mem::swap`, never a
+//! fresh `Vec`), which a debug assertion pins: a drained buffer's capacity
+//! never shrinks across rounds, as it would if one were reallocated.
 //!
 //! # Examples
 //!
@@ -84,17 +108,19 @@
 //! assert_eq!(a.ledger, b.ledger);
 //! ```
 
+use crate::config::Placement;
 use crate::cost::CostModel;
 use crate::event::EventQueue;
 use crate::fingerprint::{CanonHash, CanonHasher, Fingerprint};
 use crate::ids::{MhId, MssId};
+use crate::lanes::{EpochBarrier, Lane};
 use crate::latency::LatencyModel;
 use crate::ledger::CostLedger;
 use crate::mobility::MovePattern;
 use crate::obs::{TraceEvent, TraceSink};
 use crate::rng::SimRng;
 use crate::time::SimTime;
-use std::sync::{Barrier, Mutex};
+use std::sync::atomic::{AtomicU64, Ordering};
 
 /// Canonical description of one scale-curve run (experiment E12).
 ///
@@ -117,6 +143,10 @@ pub struct ScaleSpec {
     pub wired_latency: u64,
     /// How a leaving MH picks its next cell.
     pub pattern: MovePattern,
+    /// How hosts are placed into cells at t = 0. The partition planner
+    /// weighs cells by this initial occupancy, so a skewed placement does
+    /// not pile hot cells onto one worker.
+    pub placement: Placement,
     /// Simulated horizon in ticks; events at or after it never execute.
     pub horizon: u64,
     /// Message-cost parameters for the ledger.
@@ -143,6 +173,7 @@ impl ScaleSpec {
             mean_gap: 20,
             wired_latency: 5,
             pattern: MovePattern::UniformRandom,
+            placement: Placement::RoundRobin,
             horizon: 2_000,
             cost: CostModel::default(),
             seed: 0,
@@ -174,6 +205,12 @@ impl ScaleSpec {
         self
     }
 
+    /// Replaces the initial placement.
+    pub fn with_placement(mut self, placement: Placement) -> Self {
+        self.placement = placement;
+        self
+    }
+
     /// The conservative lookahead `W`: the wired plane's minimum latency,
     /// below which no cross-cell influence can travel.
     pub fn lookahead(&self) -> u64 {
@@ -185,6 +222,24 @@ impl ScaleSpec {
     /// moves against this prediction as a model-fidelity check.
     pub fn predicted_moves(&self) -> u64 {
         self.num_mh as u64 * self.horizon / (self.mean_dwell + self.mean_gap).max(1)
+    }
+
+    /// Calls `f` with each host's initial cell, in host order. One
+    /// deterministic definition shared by the seeding loop and the
+    /// partition planner, so both always agree on where every host starts.
+    fn place_hosts(&self, mut f: impl FnMut(u32)) {
+        let m = self.num_mss;
+        // Domain-separated stream for `Placement::Random`, mirroring the
+        // classic kernel's forked placement stream.
+        let mut place_rng = SimRng::seed_from(self.seed ^ 0x706C_6163_656D_656E); // "placemen"
+        for h in 0..self.num_mh {
+            let cell = match self.placement {
+                Placement::RoundRobin => (h % m) as u32,
+                Placement::Random => place_rng.below(m as u64) as u32,
+                Placement::Clustered { cells } => (h % cells.clamp(1, m)) as u32,
+            };
+            f(cell);
+        }
     }
 }
 
@@ -200,6 +255,7 @@ impl CanonHash for ScaleSpec {
             mean_gap,
             wired_latency,
             pattern,
+            placement,
             horizon,
             cost,
             seed,
@@ -210,6 +266,7 @@ impl CanonHash for ScaleSpec {
         h.write_u64(*mean_gap);
         h.write_u64(*wired_latency);
         pattern.canon_hash(h);
+        placement.canon_hash(h);
         h.write_u64(*horizon);
         cost.canon_hash(h);
         h.write_u64(*seed);
@@ -225,8 +282,13 @@ pub struct ScaleReport {
     pub ledger: CostLedger,
     /// Simulation events executed (leaves + joins + wired deliveries).
     pub events: u64,
-    /// Conservative-sync windows the run advanced through.
+    /// Conservative-sync windows the run advanced through (including
+    /// fast-forwarded ones).
     pub windows: u64,
+    /// Windows the fast-forward skipped in bulk instead of paying a
+    /// barrier round for. The skip schedule is a pure function of
+    /// simulation state, so this too is identical at every worker count.
+    pub skipped_windows: u64,
     /// Canonical digest of the complete final state — every host record
     /// (in `MhId` order) plus every undelivered wired message.
     pub digest: Fingerprint,
@@ -273,12 +335,47 @@ struct Transfer {
     ev: SEv,
 }
 
-/// Block partition of cells over shards: shard `s` owns the contiguous
-/// cell range `[s*M/S, (s+1)*M/S)`, which keeps locality-pattern traffic
-/// mostly intra-worker.
-#[inline]
-fn shard_of(cell: u32, m: usize, shards: usize) -> usize {
-    cell as usize * shards / m
+/// The planner's fixed cell→worker assignment for one run.
+///
+/// Computed once by [`plan_partition`] before the workers start and never
+/// revised — results are partition-independent (see the module docs), so
+/// the plan is free to chase balance without risking determinism.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PartitionPlan {
+    /// `owner[cell]` is the worker index that owns the cell.
+    pub owner: Vec<u32>,
+    /// Initial host count owned by each worker (the bin-packing loads).
+    pub load: Vec<u64>,
+}
+
+/// Host-weighted partition of cells over workers: greedy bin-packing on
+/// initial occupancy.
+///
+/// Cells are taken heaviest-first (ties by cell id) and each is assigned to
+/// the currently lightest worker (ties by worker id), so a placement or
+/// mobility pattern that packs hosts into a few hot cells spreads those
+/// cells across workers instead of piling them onto whichever worker owns
+/// the hot block. With uniform occupancy this degenerates to a round-robin
+/// scatter, which is just as balanced as the old contiguous block partition
+/// — and since **all** transfers travel through lanes, ownership locality
+/// buys nothing a contiguous layout would miss.
+///
+/// `shards` is clamped to `[1, M]` exactly as [`run_scale`] clamps it.
+pub fn plan_partition(spec: &ScaleSpec, shards: usize) -> PartitionPlan {
+    let m = spec.num_mss;
+    let shards = shards.clamp(1, m);
+    let mut weight = vec![0u64; m];
+    spec.place_hosts(|cell| weight[cell as usize] += 1);
+    let mut order: Vec<u32> = (0..m as u32).collect();
+    order.sort_unstable_by_key(|&c| (std::cmp::Reverse(weight[c as usize]), c));
+    let mut owner = vec![0u32; m];
+    let mut load = vec![0u64; shards];
+    for c in order {
+        let lightest = (0..shards).min_by_key(|&s| (load[s], s)).unwrap_or(0);
+        owner[c as usize] = lightest as u32;
+        load[lightest] += weight[c as usize];
+    }
+    PartitionPlan { owner, load }
 }
 
 /// The stateless per-decision RNG: host id in the high seed bits, decision
@@ -296,6 +393,7 @@ type HostRow = (u32, u8, u64, u32, u32, u32, u32, u32);
 struct ShardOut {
     ledger: CostLedger,
     events: u64,
+    skipped: u64,
     hosts: Vec<HostRow>,
     /// `(due, from, to)` for each undelivered wired notification.
     wires: Vec<(u64, u32, u32)>,
@@ -339,35 +437,44 @@ pub fn run_scale_traced(
     );
     let w = spec.lookahead();
     let windows = spec.horizon.div_ceil(w);
+    let plan = plan_partition(spec, shards);
 
     // Seed every host sequentially (host order ⇒ identical per-queue
-    // insertion order at every shard count): host h dwells in cell h mod M,
-    // then leaves. Decision 0 is the initial dwell draw.
-    let mut queues: Vec<EventQueue<SEv>> = (0..shards)
-        .map(|s| {
-            let cells = (s + 1) * m / shards - s * m / shards;
-            EventQueue::with_capacity((n * cells).div_ceil(m) + 16)
-        })
+    // insertion order at every shard count): host h dwells in its placement
+    // cell, then leaves. Decision 0 is the initial dwell draw.
+    let mut queues: Vec<EventQueue<SEv>> = plan
+        .load
+        .iter()
+        .map(|&hosts| EventQueue::with_capacity(hosts as usize + 16))
         .collect();
-    for h in 0..n {
-        let cell = (h % m) as u32;
-        let mut rng = decision_rng(spec.seed, h as u32, 0);
+    let mut h: u32 = 0;
+    spec.place_hosts(|cell| {
+        let mut rng = decision_rng(spec.seed, h, 0);
         let dwell = rng.exp_delay(spec.mean_dwell);
         let rec = HostRec {
-            id: h as u32,
+            id: h,
             home: cell,
             cell,
             ctr: 1,
             moves: 0,
         };
-        queues[shard_of(cell, m, shards)].push(SimTime::from_ticks(dwell), SEv::Leave(rec));
-    }
+        queues[plan.owner[cell as usize] as usize]
+            .push(SimTime::from_ticks(dwell), SEv::Leave(rec));
+        h += 1;
+    });
 
-    let mailboxes: Vec<Mutex<Vec<Transfer>>> =
-        (0..shards).map(|_| Mutex::new(Vec::new())).collect();
-    let barrier = Barrier::new(shards);
-    let mailboxes = &mailboxes;
+    // One SPSC lane per ordered worker pair, a single fused barrier, and a
+    // per-worker slot pair for the fast-forward minimum. The slots are
+    // double-buffered by round parity like the lane buffers: a worker one
+    // round ahead writes the other parity, so slow workers still read an
+    // intact snapshot of the round they just crossed the barrier for.
+    let lanes: Vec<Lane<Transfer>> = (0..shards * shards).map(|_| Lane::new()).collect();
+    let barrier = EpochBarrier::new(shards);
+    let mins: Vec<AtomicU64> = (0..2 * shards).map(|_| AtomicU64::new(u64::MAX)).collect();
+    let owner = &plan.owner;
+    let lanes = &lanes;
     let barrier = &barrier;
+    let mins = &mins;
 
     let mut slots: Vec<Option<Box<dyn TraceSink>>> = if sinks.is_empty() {
         (0..shards).map(|_| None).collect()
@@ -383,7 +490,7 @@ pub fn run_scale_traced(
             .map(|(shard, (queue, sink))| {
                 scope.spawn(move || {
                     run_shard(
-                        spec, shard, shards, w, windows, queue, mailboxes, barrier, sink,
+                        spec, shard, shards, w, windows, queue, owner, lanes, barrier, mins, sink,
                     )
                 })
             })
@@ -402,7 +509,12 @@ pub fn run_scale_traced(
     let mut hosts = Vec::with_capacity(n);
     let mut wires = Vec::new();
     let mut done_sinks = Vec::new();
+    let skipped_windows = outs.first().map_or(0, |o| o.skipped);
     for out in &mut outs {
+        debug_assert_eq!(
+            out.skipped, skipped_windows,
+            "fast-forward schedule must be global"
+        );
         ledger.merge(&out.ledger);
         events += out.events;
         hosts.append(&mut out.hosts);
@@ -437,6 +549,7 @@ pub fn run_scale_traced(
         ledger,
         events,
         windows,
+        skipped_windows,
         digest: hasher.finish(),
         state_bytes: n as u64 * entry as u64,
         lookahead: w,
@@ -446,7 +559,7 @@ pub fn run_scale_traced(
 }
 
 /// One worker: processes its cells' events window by window, exchanging
-/// cross-cell transfers at the double barrier.
+/// cross-cell transfers over the SPSC lanes at the fused barrier.
 #[allow(clippy::too_many_arguments)]
 fn run_shard(
     spec: &ScaleSpec,
@@ -455,8 +568,10 @@ fn run_shard(
     w: u64,
     windows: u64,
     mut queue: EventQueue<SEv>,
-    mailboxes: &[Mutex<Vec<Transfer>>],
-    barrier: &Barrier,
+    owner: &[u32],
+    lanes: &[Lane<Transfer>],
+    barrier: &EpochBarrier,
+    mins: &[AtomicU64],
     mut sink: Option<Box<dyn TraceSink>>,
 ) -> ShardOut {
     let m = spec.num_mss;
@@ -464,9 +579,19 @@ fn run_shard(
     let mut events = 0u64;
     let mut trace_seq = 0u64;
     let mut send_seq = 0u64;
-    // Pooled drain scratch: swapped with the mailbox each window so the
-    // steady state allocates nothing.
-    let mut drained: Vec<Transfer> = Vec::new();
+    let mut total_skipped = 0u64;
+    // Pooled drain scratch, one per inbound lane: swapped with the lane
+    // buffer each round so the steady state allocates nothing. The
+    // capacity watermarks back the debug assertion that the pool really is
+    // recycled (a fresh `Vec` would re-enter at capacity 0).
+    let mut drain_bufs: Vec<Vec<Transfer>> = (0..shards).map(|_| Vec::new()).collect();
+    let mut cursors: Vec<usize> = vec![0; shards];
+    // Each lane's two buffers and its drain scratch rotate positions in a
+    // 3-cycle (one swap per drain), so the same allocation comes back every
+    // third drain — and a `Vec`'s capacity never shrinks. Watermarking
+    // `drain count mod 3` per lane pins exactly that.
+    #[cfg(debug_assertions)]
+    let mut drain_caps: Vec<usize> = vec![0; 3 * shards];
 
     macro_rules! emit {
         ($at:expr, $ev:expr) => {
@@ -476,25 +601,83 @@ fn run_shard(
             }
         };
     }
-    macro_rules! send {
-        ($dst_cell:expr, $arrival:expr, $src_cell:expr, $sev:expr) => {{
-            let tr = Transfer {
-                arrival: $arrival,
-                src_cell: $src_cell,
-                src_seq: send_seq,
-                ev: $sev,
-            };
-            send_seq += 1;
-            mailboxes[shard_of($dst_cell, m, shards)]
-                .lock()
-                .expect("mailbox poisoned")
-                .push(tr);
+
+    macro_rules! drain_round {
+        ($round:expr) => {{
+            let round: u64 = $round;
+            for (src, buf) in drain_bufs.iter_mut().enumerate() {
+                lanes[src * shards + shard].take(round, buf);
+                #[cfg(debug_assertions)]
+                {
+                    let slot = 3 * src + (round % 3) as usize;
+                    debug_assert!(
+                        buf.capacity() >= drain_caps[slot],
+                        "lane buffer was reallocated instead of recycled"
+                    );
+                    drain_caps[slot] = buf.capacity();
+                }
+                // Within one producer the full key is already unique;
+                // sorting per lane feeds the cross-lane merge below.
+                buf.sort_unstable_by_key(|tr| (tr.arrival, tr.src_cell, tr.src_seq));
+            }
+            // K-way merge in (arrival, src_cell, src_seq) order — the same
+            // total order the seed implementation got from one global sort,
+            // because distinct producers send from disjoint cell sets.
+            cursors.iter_mut().for_each(|c| *c = 0);
+            loop {
+                let mut best: Option<(usize, (u64, u32, u64))> = None;
+                for (i, buf) in drain_bufs.iter().enumerate() {
+                    if let Some(tr) = buf.get(cursors[i]) {
+                        let key = (tr.arrival, tr.src_cell, tr.src_seq);
+                        if best.is_none_or(|(_, b)| key < b) {
+                            best = Some((i, key));
+                        }
+                    }
+                }
+                let Some((i, _)) = best else { break };
+                let tr = drain_bufs[i][cursors[i]];
+                cursors[i] += 1;
+                queue.push(SimTime::from_ticks(tr.arrival), tr.ev);
+            }
+            for buf in drain_bufs.iter_mut() {
+                buf.clear();
+            }
         }};
     }
 
-    for k in 0..windows {
+    // `round` counts barrier rounds (= processed windows) and selects lane
+    // buffer parity; `k` is the simulation window the round processes —
+    // they diverge exactly when the fast-forward skips windows.
+    let mut round = 0u64;
+    let mut k = 0u64;
+    let mut skipped = 0u64;
+    while k < windows {
+        // Drain everything the producers published last round. Transfers
+        // sent in window k' arrive ≥ (k'+1)W, so draining at entry of the
+        // next *processed* window is always timely.
+        if round > 0 {
+            drain_round!(round - 1);
+        }
         let end = ((k + 1) * w).min(spec.horizon);
         let limit = SimTime::from_ticks(end - 1);
+        // Earliest arrival among this round's sends, for the fast-forward.
+        let mut sent_min = u64::MAX;
+
+        macro_rules! send {
+            ($dst_cell:expr, $arrival:expr, $src_cell:expr, $sev:expr) => {{
+                let arrival: u64 = $arrival;
+                let tr = Transfer {
+                    arrival,
+                    src_cell: $src_cell,
+                    src_seq: send_seq,
+                    ev: $sev,
+                };
+                send_seq += 1;
+                sent_min = sent_min.min(arrival);
+                lanes[shard * shards + owner[$dst_cell as usize] as usize].push(round, tr);
+            }};
+        }
+
         while let Some((t, ev)) = queue.pop_if_at_or_before(limit) {
             events += 1;
             match ev {
@@ -574,26 +757,50 @@ fn run_shard(
             TraceEvent::ShardSync {
                 shard: shard as u32,
                 window: k,
+                skipped,
             }
         );
 
-        // Barrier 1: every worker has finished window k's sends.
-        barrier.wait();
-        {
-            let mut mb = mailboxes[shard].lock().expect("mailbox poisoned");
-            std::mem::swap(&mut *mb, &mut drained);
+        // Publish this round on every outgoing lane, post the worker's
+        // earliest pending tick, and cross the one barrier.
+        for dst in 0..shards {
+            lanes[shard * shards + dst].publish(round);
         }
-        drained.sort_unstable_by_key(|tr| (tr.arrival, tr.src_cell, tr.src_seq));
-        for tr in drained.drain(..) {
-            queue.push(SimTime::from_ticks(tr.arrival), tr.ev);
-        }
-        // Barrier 2: nobody re-enters a mailbox until every drain is done.
+        let local_min = queue
+            .peek_time()
+            .map_or(u64::MAX, |t| t.ticks())
+            .min(sent_min);
+        let parity = (round % 2) as usize;
+        mins[2 * shard + parity].store(local_min, Ordering::Release);
         barrier.wait();
+
+        // Fast-forward: every worker computes the same global minimum from
+        // the published slots, so every worker takes the same jump. The
+        // final window is never skipped — it anchors the trace identity
+        // Σ(1 + skipped) = windows.
+        let global_min = (0..shards)
+            .map(|s| mins[2 * s + parity].load(Ordering::Acquire))
+            .min()
+            .unwrap_or(u64::MAX);
+        let target = if global_min == u64::MAX {
+            windows - 1
+        } else {
+            (global_min / w).min(windows - 1)
+        };
+        let next_k = target.max(k + 1);
+        skipped = next_k - k - 1;
+        total_skipped += skipped;
+        k = next_k;
+        round += 1;
+    }
+    // The final round's sends are still parked in the lanes; drain them so
+    // the queue holds the complete end state.
+    if round > 0 {
+        drain_round!(round - 1);
     }
 
-    // Collect the final state for the digest. Mailboxes are empty here
-    // (the last window's sends were drained at its barrier), so the queue
-    // holds every resident host and undelivered wire.
+    // Collect the final state for the digest: the queue now holds every
+    // resident host and undelivered wire.
     let mut hosts = Vec::new();
     let mut wires = Vec::new();
     while let Some((t, ev)) = queue.pop() {
@@ -613,6 +820,7 @@ fn run_shard(
     ShardOut {
         ledger,
         events,
+        skipped: total_skipped,
         hosts,
         wires,
         sink,
@@ -631,6 +839,15 @@ mod tests {
             .with_churn(120, 15)
     }
 
+    /// Sparse enough that most windows are empty: 3 hosts over a 4,000-tick
+    /// horizon with ~600-tick cycles leave long event-free stretches.
+    fn sparse_spec() -> ScaleSpec {
+        ScaleSpec::new(8, 3)
+            .with_seed(11)
+            .with_horizon(4_000)
+            .with_churn(500, 40)
+    }
+
     #[test]
     fn shard_counts_agree_bit_for_bit() {
         let spec = spec();
@@ -643,6 +860,10 @@ mod tests {
             assert_eq!(r.digest, base.digest, "digest diverged at {s} shards");
             assert_eq!(r.ledger, base.ledger, "ledger diverged at {s} shards");
             assert_eq!(r.events, base.events, "event count diverged at {s} shards");
+            assert_eq!(
+                r.skipped_windows, base.skipped_windows,
+                "fast-forward schedule diverged at {s} shards"
+            );
         }
     }
 
@@ -689,20 +910,91 @@ mod tests {
             .collect();
         let (report, sinks) = run_scale_traced(&spec, shards, sinks);
         assert_eq!(sinks.len(), shards);
-        let mut syncs = 0;
+        let mut syncs = 0u64;
+        let mut covered = 0u64;
         let mut recvs = 0;
         let mut ends = 0;
         for s in &sinks {
             let ring = s.as_any().downcast_ref::<RingSink>().expect("ring sink");
-            syncs += ring.count_kind("shard_sync");
+            syncs += ring.count_kind("shard_sync") as u64;
             recvs += ring.count_kind("shard_recv");
             ends += ring.count_kind("handoff_end");
+            for (_, _, ev) in ring.iter() {
+                if let TraceEvent::ShardSync { skipped, .. } = ev {
+                    covered += 1 + skipped;
+                }
+            }
         }
-        assert_eq!(syncs as u64, report.windows * shards as u64);
+        // One sync per *processed* window; fast-forwarded windows are folded
+        // into the next sync's skipped count, so the coverage sums back to
+        // the full window count on every shard.
+        assert_eq!(covered, report.windows * shards as u64);
+        assert_eq!(
+            syncs,
+            (report.windows - report.skipped_windows) * shards as u64
+        );
         assert_eq!(recvs as u64, report.ledger.fixed_msgs);
         assert_eq!(ends as u64, report.ledger.moves);
         // Tracing must not perturb the simulation.
         assert_eq!(report.digest, run_scale(&spec, 1).digest);
+    }
+
+    #[test]
+    fn fast_forward_skips_empty_windows_without_changing_results() {
+        let spec = sparse_spec();
+        let base = run_scale(&spec, 1);
+        assert!(
+            base.skipped_windows > 0,
+            "sparse workload must trigger the fast-forward"
+        );
+        assert!(base.skipped_windows < base.windows);
+        for s in [2, 4, 8] {
+            let r = run_scale(&spec, s);
+            assert_eq!(r.digest, base.digest, "digest diverged at {s} shards");
+            assert_eq!(r.ledger, base.ledger, "ledger diverged at {s} shards");
+            assert_eq!(r.skipped_windows, base.skipped_windows);
+        }
+    }
+
+    #[test]
+    fn weighted_partition_balances_clustered_placement() {
+        // All hosts packed into 4 of 32 cells: a block partition would give
+        // one worker everything; greedy bin-packing spreads the hot cells.
+        let spec = ScaleSpec::new(32, 4_000)
+            .with_seed(5)
+            .with_placement(Placement::Clustered { cells: 4 });
+        let plan = plan_partition(&spec, 4);
+        assert_eq!(plan.owner.len(), 32);
+        assert_eq!(plan.load.iter().sum::<u64>(), 4_000);
+        let mean = 4_000 / 4;
+        for (s, &l) in plan.load.iter().enumerate() {
+            assert!(l <= 2 * mean, "worker {s} owns {l} hosts, mean {mean}");
+        }
+        // And the run itself stays bit-identical across shard counts.
+        let base = run_scale(&spec, 1);
+        for s in [2, 4] {
+            assert_eq!(run_scale(&spec, s).digest, base.digest);
+        }
+    }
+
+    #[test]
+    fn random_placement_is_deterministic_and_shard_invariant() {
+        let spec = ScaleSpec::new(16, 200)
+            .with_seed(77)
+            .with_placement(Placement::Random);
+        let a = run_scale(&spec, 1);
+        let b = run_scale(&spec, 4);
+        assert_eq!(a.digest, b.digest);
+        assert_eq!(a, run_scale(&spec, 1));
+        // Placement must actually differ from round-robin.
+        let rr = run_scale(
+            &ScaleSpec {
+                placement: Placement::RoundRobin,
+                ..spec
+            },
+            1,
+        );
+        assert_ne!(a.digest, rr.digest);
     }
 
     #[test]
@@ -717,6 +1009,10 @@ mod tests {
                 wired_latency: 6,
                 ..spec()
             })
+        );
+        assert_ne!(
+            base,
+            Fingerprint::of(&spec().with_placement(Placement::Clustered { cells: 2 }))
         );
     }
 

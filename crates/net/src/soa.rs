@@ -23,9 +23,10 @@
 //! determinism suites pin byte-identical traces and ledgers across the
 //! refactor.
 
+use crate::hash::FxHashMap;
 use crate::host::{MhStatus, OutMsg};
 use crate::ids::{MhId, MssId};
-use std::collections::{BTreeMap, VecDeque};
+use std::collections::VecDeque;
 
 /// Packed representation of `Option<MssId>`: cell ids are dense and small,
 /// so the all-ones pattern is free to mean "no cell".
@@ -55,8 +56,11 @@ pub(crate) struct MhSoa<M> {
     dozing: Vec<bool>,
     /// Sparse outbox side table keyed by MH id. Only hosts that sent while
     /// between cells have an entry, and entries are removed when flushed, so
-    /// the map stays tiny regardless of population size.
-    outbox: BTreeMap<u32, VecDeque<OutMsg<M>>>,
+    /// the map stays tiny regardless of population size. Accessed strictly
+    /// by key (never iterated), so the deterministic-but-unordered
+    /// [`FxHashMap`] is sound here and cheaper than a `BTreeMap` walk on
+    /// the per-uplink hot path.
+    outbox: FxHashMap<u32, VecDeque<OutMsg<M>>>,
 }
 
 impl<M> MhSoa<M> {
@@ -72,7 +76,7 @@ impl<M> MhSoa<M> {
             down_sent: Vec::new(),
             status: Vec::new(),
             dozing: Vec::new(),
-            outbox: BTreeMap::new(),
+            outbox: FxHashMap::default(),
         }
     }
 

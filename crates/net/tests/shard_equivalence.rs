@@ -6,9 +6,11 @@
 //! not depend on the shard count (it is an execution knob, not part of
 //! the simulated world).
 
+use mobidist_net::config::Placement;
 use mobidist_net::fingerprint::{Fingerprint, KERNEL_VERSION_SALT};
-use mobidist_net::obs::{RingSink, TraceSink};
-use mobidist_net::shard::{run_scale, run_scale_traced, ScaleSpec};
+use mobidist_net::mobility::MovePattern;
+use mobidist_net::obs::{RingSink, TraceEvent, TraceSink};
+use mobidist_net::shard::{plan_partition, run_scale, run_scale_traced, ScaleSpec};
 
 /// Specs spanning the shapes the equivalence must hold for: tiny cell
 /// counts (shards clamp), uneven cell/shard divisions, heavy churn, and a
@@ -79,6 +81,7 @@ fn traced_shard_events_reconcile_with_the_ledger() {
     );
 
     let mut syncs = 0;
+    let mut covered = 0u64;
     let mut recvs = 0;
     let mut ends = 0;
     for sink in &sinks {
@@ -86,15 +89,80 @@ fn traced_shard_events_reconcile_with_the_ledger() {
         syncs += ring.count_kind("shard_sync");
         recvs += ring.count_kind("shard_recv");
         ends += ring.count_kind("handoff_end");
+        for (_, _, ev) in ring.iter() {
+            if let TraceEvent::ShardSync { skipped, .. } = ev {
+                covered += 1 + skipped;
+            }
+        }
     }
+    // Fast-forward may skip empty windows, so syncs count only *processed*
+    // windows; each sync's `skipped` field accounts for the jumped-over
+    // remainder, and together they must tile the horizon exactly.
+    assert_eq!(
+        covered,
+        r.windows * shards as u64,
+        "processed + skipped windows must cover the horizon on every shard"
+    );
     assert_eq!(
         syncs as u64,
-        r.windows * shards as u64,
-        "one sync per window per shard"
+        (r.windows - r.skipped_windows) * shards as u64,
+        "one sync per processed window per shard"
     );
     assert_eq!(
         recvs as u64, r.ledger.fixed_msgs,
         "every wired charge is traced"
     );
     assert_eq!(ends as u64, r.ledger.moves, "every move is traced");
+}
+
+#[test]
+fn skewed_occupancy_stays_balanced_and_bit_identical() {
+    // Deliberately hostile partition inputs: all hosts start clustered in a
+    // handful of cells and the mobility keeps them concentrated (platoons
+    // converging on shared anchors, locality-biased wanderers hugging small
+    // home spans). A static block partition would pile the hot cells onto
+    // one worker; the host-weighted partition must spread them — and the
+    // rebalanced ownership must not perturb a single bit of the result.
+    let specs = [
+        ScaleSpec::new(48, 6_000)
+            .with_seed(4801)
+            .with_horizon(3_000)
+            .with_churn(150, 15)
+            .with_pattern(MovePattern::GroupPlatoon {
+                groups: 6,
+                p_follow: 0.9,
+            })
+            .with_placement(Placement::Clustered { cells: 5 }),
+        ScaleSpec::new(48, 6_000)
+            .with_seed(4802)
+            .with_horizon(3_000)
+            .with_churn(150, 15)
+            .with_pattern(MovePattern::Locality {
+                p_local: 0.85,
+                home_span: 4,
+            })
+            .with_placement(Placement::Clustered { cells: 6 }),
+    ];
+    for spec in specs {
+        for shards in [2, 3, 4, 8] {
+            let plan = plan_partition(&spec, shards);
+            assert_eq!(plan.load.iter().sum::<u64>(), spec.num_mh as u64);
+            let mean = spec.num_mh as u64 / shards as u64;
+            for (s, &load) in plan.load.iter().enumerate() {
+                assert!(
+                    load <= 2 * mean,
+                    "worker {s} owns {load} hosts at t=0, over 2x the mean \
+                     {mean} at {shards} shards: {spec:?}"
+                );
+            }
+        }
+        let base = run_scale(&spec, 1);
+        assert!(base.ledger.moves > 0, "workload must churn: {spec:?}");
+        for shards in [2, 3, 4, 8] {
+            let r = run_scale(&spec, shards);
+            assert_eq!(r.digest, base.digest, "digest diverged at {shards} shards");
+            assert_eq!(r.ledger, base.ledger, "ledger diverged at {shards} shards");
+            assert_eq!(r.events, base.events, "events diverged at {shards} shards");
+        }
+    }
 }

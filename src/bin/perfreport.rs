@@ -4,21 +4,27 @@
 //! paper-scale experiments so kernel overhead dominates — and records wall
 //! time plus events/second for each, alongside sequential-vs-parallel wall
 //! times for multi-seed experiment sweeps, the space-sharded scale curve
-//! (E12's ladder up to one million hosts), sharded throughput at 1/2/4/8
+//! (E12's ladder up to one million hosts), sharded throughput at 1/2/4/6/8
 //! workers, and cold-vs-warm run-cache timings. Results are printed as a
 //! table and written to `BENCH_kernel.json` (hand-rolled JSON; the
 //! workspace has no serde).
 //!
 //! ```text
 //! cargo run --release --bin perfreport
+//! cargo run --release --bin perfreport -- --shard-only
 //! ```
+//!
+//! `--shard-only` re-times just the sharded legs and splices the fresh
+//! `scale` and `shard_throughput` sections into the existing
+//! `BENCH_kernel.json`, leaving every other section's numbers untouched
+//! (the `make shardbench` target).
 //!
 //! Every workload is a fixed `(config, seed)` pair, so the *work done* is
 //! identical from run to run and across machines; only the wall times vary.
 
 use mobidist_bench::exp_fault::RobustnessPoint;
 use mobidist_bench::exp_serve::ServingPoint;
-use mobidist_bench::parallel::map_indexed_with;
+use mobidist_bench::parallel::{map_indexed_with, oversubscribed};
 use mobidist_bench::{exp_fault, exp_group, exp_mutex, exp_scale, exp_serve};
 use mobidist_core::prelude::*;
 use mobidist_group::prelude::*;
@@ -110,6 +116,10 @@ struct SweepRow {
     seq_ms: f64,
     par_ms: f64,
     jobs: usize,
+    /// True when `jobs` workers would oversubscribe this machine; the
+    /// parallel leg then ran on the sequential fallback and its "speedup"
+    /// measures fan-out overhead, not concurrency.
+    oversubscribed: bool,
 }
 
 fn time_ms(f: impl Fn()) -> f64 {
@@ -213,6 +223,7 @@ fn sweep_matrix() -> Vec<SweepRow> {
                 seq_ms,
                 par_ms,
                 jobs,
+                oversubscribed: oversubscribed(jobs),
             }
         })
         .collect()
@@ -266,7 +277,7 @@ fn scale_matrix(shards: usize) -> Vec<ScaleRow> {
         .collect()
 }
 
-/// Sharded throughput at the top of the ladder, 1/2/4/8 workers.
+/// Sharded throughput at the top of the ladder, 1/2/4/6/8 workers.
 struct ShardRow {
     shards: usize,
     wall_ms: f64,
@@ -278,7 +289,7 @@ fn shard_matrix() -> (usize, Vec<ShardRow>) {
         .last()
         .expect("ladder is never empty");
     let spec = exp_scale::scale_spec(hosts, cells);
-    let rows = [1usize, 2, 4, 8]
+    let rows = [1usize, 2, 4, 6, 8]
         .into_iter()
         .map(|shards| {
             let (wall_ms, events, _) = time_scale(&spec, shards);
@@ -395,6 +406,66 @@ fn robustness_matrix() -> Vec<RobustnessPoint> {
     rows
 }
 
+/// The `scale` + `shard_throughput` sections, exactly as they appear in the
+/// full report — from `  "scale": [` up to and including the trailing
+/// `]},` newline. Shared by the full serializer and the `--shard-only`
+/// splice so the two paths can never drift apart.
+fn sharded_sections_json(scale: &[ScaleRow], shard_hosts: usize, shard: &[ShardRow]) -> String {
+    let mut j = String::from("  \"scale\": [\n");
+    for (i, r) in scale.iter().enumerate() {
+        let _ = writeln!(
+            j,
+            "    {{\"hosts\": {}, \"cells\": {}, \"shards\": {}, \"events\": {}, \"wall_ms\": {:.3}, \
+             \"events_per_sec\": {:.0}, \"bytes_per_host\": {}}}{}",
+            r.hosts,
+            r.cells,
+            r.shards,
+            r.events,
+            r.wall_ms,
+            r.events_per_sec,
+            r.bytes_per_host,
+            if i + 1 < scale.len() { "," } else { "" }
+        );
+    }
+    let _ = writeln!(
+        j,
+        "  ],\n  \"shard_throughput\": {{\"hosts\": {shard_hosts}, \"rows\": ["
+    );
+    let base_rate = shard.first().map_or(1.0, |r| r.events_per_sec);
+    for (i, r) in shard.iter().enumerate() {
+        let _ = writeln!(
+            j,
+            "    {{\"shards\": {}, \"wall_ms\": {:.3}, \"events_per_sec\": {:.0}, \"speedup\": {:.2}}}{}",
+            r.shards,
+            r.wall_ms,
+            r.events_per_sec,
+            r.events_per_sec / base_rate,
+            if i + 1 < shard.len() { "," } else { "" }
+        );
+    }
+    j.push_str("  ]},\n");
+    j
+}
+
+/// `--shard-only`: replace the `scale` + `shard_throughput` sections of an
+/// existing report in place. The sections are adjacent by construction
+/// (both serializers share [`sharded_sections_json`]), so the splice is a
+/// single range swap anchored on the section headers.
+fn splice_sharded_sections(report: &str, fresh: &str) -> String {
+    let start = report
+        .find("  \"scale\": [")
+        .expect("BENCH_kernel.json has no scale section; run a full perfreport first");
+    let after = report[start..]
+        .find("\n  \"serving\":")
+        .map(|off| start + off + 1)
+        .expect("BENCH_kernel.json has no serving section after scale");
+    let mut out = String::with_capacity(report.len());
+    out.push_str(&report[..start]);
+    out.push_str(fresh);
+    out.push_str(&report[after..]);
+    out
+}
+
 fn json_escape_free(s: &str) -> &str {
     // All names in this report are static identifiers; assert rather than
     // escape so a future rename cannot silently emit invalid JSON.
@@ -432,48 +503,18 @@ fn to_json(
     for (i, r) in sweeps.iter().enumerate() {
         let _ = writeln!(
             j,
-            "    {{\"name\": \"{}\", \"seq_ms\": {:.3}, \"par_ms\": {:.3}, \"jobs\": {}, \"speedup\": {:.2}}}{}",
+            "    {{\"name\": \"{}\", \"seq_ms\": {:.3}, \"par_ms\": {:.3}, \"jobs\": {}, \"speedup\": {:.2}, \"oversubscribed\": {}}}{}",
             json_escape_free(r.name),
             r.seq_ms,
             r.par_ms,
             r.jobs,
             r.seq_ms / r.par_ms,
+            r.oversubscribed,
             if i + 1 < sweeps.len() { "," } else { "" }
         );
     }
-    j.push_str("  ],\n  \"scale\": [\n");
-    for (i, r) in scale.iter().enumerate() {
-        let _ = writeln!(
-            j,
-            "    {{\"hosts\": {}, \"cells\": {}, \"shards\": {}, \"events\": {}, \"wall_ms\": {:.3}, \
-             \"events_per_sec\": {:.0}, \"bytes_per_host\": {}}}{}",
-            r.hosts,
-            r.cells,
-            r.shards,
-            r.events,
-            r.wall_ms,
-            r.events_per_sec,
-            r.bytes_per_host,
-            if i + 1 < scale.len() { "," } else { "" }
-        );
-    }
-    let _ = writeln!(
-        j,
-        "  ],\n  \"shard_throughput\": {{\"hosts\": {shard_hosts}, \"rows\": ["
-    );
-    let base_rate = shard.first().map_or(1.0, |r| r.events_per_sec);
-    for (i, r) in shard.iter().enumerate() {
-        let _ = writeln!(
-            j,
-            "    {{\"shards\": {}, \"wall_ms\": {:.3}, \"events_per_sec\": {:.0}, \"speedup\": {:.2}}}{}",
-            r.shards,
-            r.wall_ms,
-            r.events_per_sec,
-            r.events_per_sec / base_rate,
-            if i + 1 < shard.len() { "," } else { "" }
-        );
-    }
-    j.push_str("  ]},\n");
+    j.push_str("  ],\n");
+    j.push_str(&sharded_sections_json(scale, shard_hosts, shard));
     let _ = writeln!(
         j,
         "  \"serving\": {{\"requesters\": {}, \"rows\": [",
@@ -528,12 +569,51 @@ fn to_json(
     j
 }
 
+/// Re-times the sharded legs only and splices them into the existing
+/// `BENCH_kernel.json` (the `make shardbench` fast path).
+fn shard_only() {
+    let path = "BENCH_kernel.json";
+    let report = std::fs::read_to_string(path)
+        .expect("BENCH_kernel.json not found; run a full perfreport first");
+    println!(
+        "shard-only: re-timing scale curve ({} shards) and shard matrix",
+        par_jobs()
+    );
+    let scale = scale_matrix(par_jobs());
+    for r in &scale {
+        println!(
+            "  {:>9} hosts / {:>4} cells  {:>10} events  {:>9.1} ms  {:>12.0} events/s  {} B/host",
+            r.hosts, r.cells, r.events, r.wall_ms, r.events_per_sec, r.bytes_per_host
+        );
+    }
+    let (shard_hosts, shard) = shard_matrix();
+    let base_rate = shard.first().map_or(1.0, |r| r.events_per_sec);
+    for r in &shard {
+        println!(
+            "  {} hosts @ {} shard(s)  {:>9.1} ms  {:>12.0} events/s  ({:.2}x)",
+            shard_hosts,
+            r.shards,
+            r.wall_ms,
+            r.events_per_sec,
+            r.events_per_sec / base_rate
+        );
+    }
+    let fresh = sharded_sections_json(&scale, shard_hosts, &shard);
+    std::fs::write(path, splice_sharded_sections(&report, &fresh))
+        .expect("write BENCH_kernel.json");
+    println!("spliced scale + shard_throughput into BENCH_kernel.json");
+}
+
 fn main() {
     // A caller-supplied cache would memoize the sweep legs and turn the
     // seq/par timings into replay timings; the cache section manages the
     // variable itself. A caller-supplied MOBIDIST_JOBS is irrelevant: the
     // sweep legs pass their worker counts explicitly.
     std::env::remove_var(mobidist_runcache::CACHE_ENV);
+    if std::env::args().any(|a| a == "--shard-only") {
+        shard_only();
+        return;
+    }
     println!(
         "machine: {} cpu(s) — parallel legs run at {} workers and record \
          the true count; expect ~1x speedups on a 1-cpu runner",
@@ -559,12 +639,17 @@ fn main() {
     let sweeps = sweep_matrix();
     for r in &sweeps {
         println!(
-            "  {:<22} seq {:>8.1} ms   par {:>8.1} ms   jobs {}   speedup {:.2}x",
+            "  {:<22} seq {:>8.1} ms   par {:>8.1} ms   jobs {}   speedup {:.2}x{}",
             r.name,
             r.seq_ms,
             r.par_ms,
             r.jobs,
-            r.seq_ms / r.par_ms
+            r.seq_ms / r.par_ms,
+            if r.oversubscribed {
+                "   [oversubscribed: sequential fallback]"
+            } else {
+                ""
+            }
         );
     }
     println!(

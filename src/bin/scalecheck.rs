@@ -45,11 +45,12 @@ fn main() -> ExitCode {
     let secs = start.elapsed().as_secs_f64();
     let rate = r.events as f64 / secs.max(1e-9);
     println!(
-        "scalecheck: hosts={} shards={} windows={} events={} moves={} wired={} \
+        "scalecheck: hosts={} shards={} windows={} skipped={} events={} moves={} wired={} \
          digest={} {:.2}s ({:.0} events/s)",
         hosts,
         r.shards,
         r.windows,
+        r.skipped_windows,
         r.events,
         r.ledger.moves,
         r.ledger.fixed_msgs,

@@ -73,7 +73,10 @@ schema (version 1) — one flat JSON object per line:
     combine_batch  mss, size         one cell broadcast carrying `size`
                                      combined grants/outputs
     cache_hit      fp_hi, fp_lo      run replayed from the run cache
-    shard_sync     shard, window     sharded kernel: window barrier crossed
+    shard_sync     shard, window[, skipped]
+                                     sharded kernel: window processed at a
+                                     barrier round; `skipped` counts empty
+                                     windows fast-forwarded just before it
     shard_recv     shard, from, to   sharded kernel: cross-cell wired
                                      delivery (charged as one fixed_msg)
     fault_crash    mss               injected MSS fail-stop crash
