@@ -1,6 +1,6 @@
 # Convenience targets; see ci/check.sh for the full gate.
 
-.PHONY: build test check bench perf quick tracecheck cachecheck scalecheck shardbench
+.PHONY: build test check bench perf quick tracecheck cachecheck scalecheck shardbench deliverybench
 
 build:
 	cargo build --workspace --release
@@ -24,6 +24,11 @@ perf:
 # the other sections' numbers untouched.
 shardbench:
 	cargo run --release --bin perfreport -- --shard-only
+
+# Re-time only the delivery comparison (kernel rows batched vs unbatched)
+# and splice it into the existing BENCH_kernel.json.
+deliverybench:
+	cargo run --release --bin perfreport -- --delivery-only
 
 # Fast small-scale experiment tables.
 quick:

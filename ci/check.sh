@@ -124,6 +124,30 @@ if [[ $fast -eq 0 ]]; then
   cargo build --release --bin scalecheck
   ./target/release/scalecheck --shards 4
 
+  # Delivery-soundness gate: the batched delivery engine must be invisible
+  # in every output. Three legs:
+  #   1. the quick experiment tables, batched (the default) vs
+  #      MOBIDIST_DELIVERY=unbatched, cmp'd byte-for-byte — same seeds,
+  #      same tables, only the callback grouping differs;
+  #   2. the release-mode equivalence suites (tables, ledgers, digests,
+  #      traces, every shard count) plus the counting-allocator suite that
+  #      pins zero steady-state allocations per delivery;
+  #   3. tracereport --check on a batched traced run, so the trace/ledger
+  #      reconciliation identities hold with coalescing on.
+  echo "==> delivery-soundness gate"
+  delivery_exps="e1 e2 e12 e13"
+  ./target/release/experiments $delivery_exps --quick > "$cachedir/del_batched.txt"
+  MOBIDIST_DELIVERY=unbatched ./target/release/experiments $delivery_exps --quick \
+    > "$cachedir/del_unbatched.txt"
+  cmp "$cachedir/del_batched.txt" "$cachedir/del_unbatched.txt" || {
+    echo "delivery gate: unbatched tables differ from batched tables" >&2; exit 1; }
+  cargo test --release -q -p mobidist-bench --test delivery_equivalence
+  cargo test --release -q -p mobidist-net --test delivery_alloc
+  cargo build --release --bin tracereport
+  ./target/release/experiments e2 e13 --quick --trace "$cachedir/del_trace.jsonl" \
+    > /dev/null
+  ./target/release/tracereport --check "$cachedir/del_trace.jsonl"
+
   # Throughput-sanity leg: on a multi-core machine the 8-shard quick E12
   # must not be slower than the 1-shard run by more than 2x — a sync layer
   # whose overhead swamps the parallelism would pass every bit-identity

@@ -1,0 +1,83 @@
+//! `MOBIDIST_DELIVERY` must never change what an experiment computes.
+//!
+//! The batched delivery engine coalesces same-(tick, destination) runs and
+//! fuses broadcast fan-outs; the unbatched path is the historical
+//! one-event-per-message reference. Flipping the knob must leave every
+//! experiment table byte-identical — that is the contract the CI
+//! delivery-soundness gate enforces with `cmp` at the CLI level, pinned
+//! here in-process for the kernel-heavy experiments (E1, E2, E13) and for
+//! the sharded kernel at several worker counts.
+
+use mobidist_bench::{exp_mutex, exp_serve};
+use mobidist_net::config::DELIVERY_ENV;
+use mobidist_net::prelude::*;
+use std::sync::Mutex;
+
+/// Serialises the tests in this file: they mutate `MOBIDIST_DELIVERY`,
+/// which is process-global.
+static ENV_LOCK: Mutex<()> = Mutex::new(());
+
+fn with_delivery<T>(value: Option<&str>, f: impl FnOnce() -> T) -> T {
+    let prev = std::env::var(DELIVERY_ENV).ok();
+    match value {
+        Some(v) => std::env::set_var(DELIVERY_ENV, v),
+        None => std::env::remove_var(DELIVERY_ENV),
+    }
+    let out = f();
+    match prev {
+        Some(v) => std::env::set_var(DELIVERY_ENV, v),
+        None => std::env::remove_var(DELIVERY_ENV),
+    }
+    out
+}
+
+#[test]
+fn mutex_experiment_tables_are_mode_invariant() {
+    let _guard = ENV_LOCK.lock().unwrap();
+    let render = || {
+        [
+            exp_mutex::e1_lamport(true).to_string(),
+            exp_mutex::e2_ring(true).to_string(),
+        ]
+    };
+    let batched = with_delivery(Some("batched"), render);
+    let unbatched = with_delivery(Some("unbatched"), render);
+    let default_mode = with_delivery(None, render);
+    assert_eq!(batched, unbatched, "E1/E2 tables diverged across modes");
+    assert_eq!(batched, default_mode, "the default must be batched");
+}
+
+#[test]
+fn serving_benchmark_table_is_mode_invariant() {
+    let _guard = ENV_LOCK.lock().unwrap();
+    let render = || exp_serve::e13_serving(true).to_string();
+    let batched = with_delivery(Some("batched"), render);
+    let unbatched = with_delivery(Some("unbatched"), render);
+    assert_eq!(batched, unbatched, "E13 table diverged across modes");
+}
+
+#[test]
+fn sharded_kernel_is_mode_invariant_at_every_worker_count() {
+    let _guard = ENV_LOCK.lock().unwrap();
+    let spec = ScaleSpec::new(16, 400).with_seed(7).with_horizon(2_000);
+    let reference = run_scale_with_mode(&spec, 1, DeliveryMode::Unbatched);
+    assert!(reference.ledger.fixed_msgs > 0, "need wired churn traffic");
+    for shards in [1, 4, 8] {
+        let batched = run_scale_with_mode(&spec, shards, DeliveryMode::Batched);
+        assert_eq!(
+            batched.digest, reference.digest,
+            "digest diverged at {shards} shards"
+        );
+        assert_eq!(
+            batched.ledger, reference.ledger,
+            "ledger diverged at {shards} shards"
+        );
+        assert_eq!(
+            batched.events, reference.events,
+            "event count diverged at {shards} shards"
+        );
+        // The env knob must agree with the explicit parameter.
+        let via_env = with_delivery(Some("batched"), || run_scale(&spec, shards));
+        assert_eq!(via_env.digest, batched.digest);
+    }
+}

@@ -59,7 +59,7 @@ pub struct AlgoCtx<'a, 'k, M, T> {
     effects: &'a mut Vec<Effect>,
 }
 
-impl<'a, 'k, M: Debug + 'static, T: Debug + 'static> AlgoCtx<'a, 'k, M, T> {
+impl<'a, 'k, M: Debug + Clone + 'static, T: Debug + 'static> AlgoCtx<'a, 'k, M, T> {
     /// Creates a context (used by the harness).
     pub(crate) fn new(
         net: &'a mut Ctx<'k, M, HarnessTimer<T>>,
@@ -125,8 +125,10 @@ impl<'a, 'k, M: Debug + 'static, T: Debug + 'static> AlgoCtx<'a, 'k, M, T> {
     }
 
     /// Sends a copy of a message to every other MSS (`(M−1)·C_fixed`).
-    pub fn broadcast_fixed(&mut self, from: MssId, make: impl FnMut() -> M) {
-        self.net.broadcast_fixed(from, make);
+    /// The kernel clones the payload per receiver (or shares one copy on
+    /// the batched fan-out path).
+    pub fn broadcast_fixed(&mut self, from: MssId, msg: M) {
+        self.net.broadcast_fixed(from, msg);
     }
 
     /// Wireless downlink to a local MH (`C_wireless`).
@@ -156,8 +158,8 @@ impl<'a, 'k, M: Debug + 'static, T: Debug + 'static> AlgoCtx<'a, 'k, M, T> {
     /// `C_wireless` charge regardless of listeners (the lever combining
     /// algorithms amortize batched replies over). Returns the listener
     /// count; an empty cell sends (and charges) nothing.
-    pub fn broadcast_cell(&mut self, mss: MssId, make: impl FnMut() -> M) -> usize {
-        self.net.broadcast_cell(mss, make)
+    pub fn broadcast_cell(&mut self, mss: MssId, msg: M) -> usize {
+        self.net.broadcast_cell(mss, msg)
     }
 
     /// Emits an algorithm-level trace event (no-op without a sink).
@@ -206,8 +208,9 @@ impl<'a, 'k, M: Debug + 'static, T: Debug + 'static> AlgoCtx<'a, 'k, M, T> {
 /// wants the critical section and [`release`](MutexAlgorithm::release) when
 /// it is done; the algorithm reports entry via [`AlgoCtx::grant`].
 pub trait MutexAlgorithm: Sized + 'static {
-    /// Message payload exchanged by the algorithm.
-    type Msg: Debug + 'static;
+    /// Message payload exchanged by the algorithm. `Clone` lets the kernel's
+    /// broadcast fan-outs share one payload per arrival tick.
+    type Msg: Debug + Clone + 'static;
     /// Algorithm-internal timer payload.
     type Timer: Debug + 'static;
 

@@ -189,7 +189,7 @@ impl L2 {
             .expect("known MSS")
             .clock
             .tick();
-        ctx.broadcast_fixed(proxy, || L2Msg::Release(ts, entry));
+        ctx.broadcast_fixed(proxy, L2Msg::Release(ts, entry));
         self.try_grant(ctx, proxy);
     }
 }
@@ -241,7 +241,7 @@ impl MutexAlgorithm for L2 {
                     s.queue.insert(entry);
                     s.owned.insert(mh, (entry, false));
                 }
-                ctx.broadcast_fixed(at, || L2Msg::Request(entry));
+                ctx.broadcast_fixed(at, L2Msg::Request(entry));
                 self.try_grant(ctx, at);
             }
             L2Msg::Request(entry) => {

@@ -201,7 +201,7 @@ impl L2c {
         let entry = CEntry { ts, proxy: me };
         s.queue.insert(entry);
         s.mine = Some(entry);
-        ctx.broadcast_fixed(me, || L2cMsg::Request(entry));
+        ctx.broadcast_fixed(me, L2cMsg::Request(entry));
     }
 
     /// Lamport grant check for this combiner's outstanding entry; on success
@@ -292,12 +292,12 @@ impl L2c {
         }
         if any_local {
             // One charged broadcast delivers every still-local result.
-            ctx.broadcast_cell(me, || L2cMsg::BatchDone);
+            ctx.broadcast_cell(me, L2cMsg::BatchDone);
         }
         let s = self.station(me);
         s.queue.remove(&batch.entry);
         let ts = s.clock.tick();
-        ctx.broadcast_fixed(me, || L2cMsg::Release(ts, batch.entry));
+        ctx.broadcast_fixed(me, L2cMsg::Release(ts, batch.entry));
         if !self.station(me).pending.is_empty() {
             self.open_request(ctx, me);
         }

@@ -209,7 +209,7 @@ impl LocationView {
         if self.cell_broadcast {
             // One transmission for the whole cell; the sender and any
             // non-member bystanders simply discard it on reception.
-            ctx.broadcast_cell(at, || LvMsg::GroupDeliver { msg_id });
+            ctx.broadcast_cell(at, LvMsg::GroupDeliver { msg_id });
             return;
         }
         let locals: Vec<MhId> = self

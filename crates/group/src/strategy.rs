@@ -43,7 +43,7 @@ pub struct GroupCtx<'a, 'k, M, T> {
     deliveries: &'a mut Vec<Delivery>,
 }
 
-impl<'a, 'k, M: Debug + 'static, T: Debug + 'static> GroupCtx<'a, 'k, M, T> {
+impl<'a, 'k, M: Debug + Clone + 'static, T: Debug + 'static> GroupCtx<'a, 'k, M, T> {
     pub(crate) fn new(
         net: &'a mut Ctx<'k, M, GroupTimer<T>>,
         deliveries: &'a mut Vec<Delivery>,
@@ -101,8 +101,8 @@ impl<'a, 'k, M: Debug + 'static, T: Debug + 'static> GroupCtx<'a, 'k, M, T> {
 
     /// Cell-wide wireless broadcast (one `C_wireless` charge for all local
     /// MHs). Returns the recipient count.
-    pub fn broadcast_cell(&mut self, mss: MssId, make: impl FnMut() -> M) -> usize {
-        self.net.broadcast_cell(mss, make)
+    pub fn broadcast_cell(&mut self, mss: MssId, msg: M) -> usize {
+        self.net.broadcast_cell(mss, msg)
     }
 
     /// Locate-and-forward (`C_search + C_wireless`).
@@ -159,8 +159,9 @@ impl<'a, 'k, M: Debug + 'static, T: Debug + 'static> GroupCtx<'a, 'k, M, T> {
 
 /// A strategy for delivering group messages to mobile members (Section 4).
 pub trait LocationStrategy: Sized + 'static {
-    /// Message payload.
-    type Msg: Debug + 'static;
+    /// Message payload. `Clone` lets the kernel's broadcast fan-outs share
+    /// one payload per arrival tick.
+    type Msg: Debug + Clone + 'static;
     /// Timer payload.
     type Timer: Debug + 'static;
 

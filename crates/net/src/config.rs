@@ -27,6 +27,47 @@ impl Default for LatencyConfig {
     }
 }
 
+/// How the kernel dispatches deliveries that share a `(tick, destination)`.
+///
+/// Both modes produce byte-identical experiment tables and cost ledgers for
+/// every workload in this repository, and both modes' traces pass
+/// `tracereport --check` reconciliation with identical per-kind event counts
+/// — the `delivery_equivalence` suites and the `ci/check.sh`
+/// delivery-soundness gate diff them end to end. (Within one tick the trace
+/// *interleaving* may differ: batched mode emits a run's receive records
+/// before the fused callback fires; see DESIGN.md §7.) `Batched` is the
+/// default; `Unbatched` is the historical one-event-per-message path, kept
+/// as the reference the gates compare against.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum DeliveryMode {
+    /// Coalesce same-tick runs to one fixed host into a single batch
+    /// callback, and fuse broadcast fan-outs into one shared-payload wheel
+    /// event per arrival tick.
+    #[default]
+    Batched,
+    /// One wheel event and one protocol callback per message.
+    Unbatched,
+}
+
+/// Environment variable selecting the process-default [`DeliveryMode`]
+/// (`batched` or `unbatched`). The CI delivery-soundness gate runs the
+/// experiment pipeline once per mode and `cmp`s the outputs.
+pub const DELIVERY_ENV: &str = "MOBIDIST_DELIVERY";
+
+/// Process-default delivery mode, read from [`DELIVERY_ENV`] at every
+/// config construction (like the sharded kernel's worker knob, so tests can
+/// flip it in-process). Each built config carries its mode and the mode is
+/// part of the canonical fingerprint, so mid-process flips can never alias
+/// run-cache keys.
+pub(crate) fn delivery_default() -> DeliveryMode {
+    match std::env::var(DELIVERY_ENV) {
+        Ok(v) if v == "unbatched" => DeliveryMode::Unbatched,
+        Ok(v) if v == "batched" => DeliveryMode::Batched,
+        Ok(v) => panic!("{DELIVERY_ENV} must be 'batched' or 'unbatched', got '{v}'"),
+        Err(_) => DeliveryMode::Batched,
+    }
+}
+
 /// How MHs are placed into cells at simulation start.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum Placement {
@@ -78,6 +119,9 @@ pub struct NetworkConfig {
     pub fault: FaultConfig,
     /// Initial placement of MHs into cells.
     pub placement: Placement,
+    /// Delivery dispatch strategy (batched vs one-callback-per-message).
+    /// Defaults to [`DeliveryMode::Batched`] unless `MOBIDIST_DELIVERY=unbatched`.
+    pub delivery: DeliveryMode,
     /// Whether a `join()` carries the id of the previous MSS (required by the
     /// location-view protocol of Section 4; part of the handoff).
     pub supply_prev_on_join: bool,
@@ -105,6 +149,7 @@ impl NetworkConfig {
             disconnect: DisconnectConfig::default(),
             fault: FaultConfig::default(),
             placement: Placement::default(),
+            delivery: delivery_default(),
             supply_prev_on_join: true,
             seed: 0,
         }
@@ -155,6 +200,12 @@ impl NetworkConfig {
     /// Replaces the latency configuration.
     pub fn with_latency(mut self, latency: LatencyConfig) -> Self {
         self.latency = latency;
+        self
+    }
+
+    /// Replaces the delivery mode.
+    pub fn with_delivery(mut self, delivery: DeliveryMode) -> Self {
+        self.delivery = delivery;
         self
     }
 }

@@ -161,8 +161,18 @@ pub struct EventQueue<E> {
     len: usize,
     /// Pending entries in the wheel levels only.
     wheel_len: usize,
-    /// Reused buffer for cascading a slot without allocating.
-    scratch: VecDeque<Entry<E>>,
+    /// Retired slot deques, recycled into cold slots on first push — one
+    /// pool per level, because slot capacity scales with the level's window
+    /// span (a level-1 slot covers 256 ticks of schedule, a level-0 slot
+    /// one tick) and mixing them makes every reuse a fresh growth chain.
+    ///
+    /// Slots hand their deque back here the moment they empty and take one
+    /// back when next occupied, so buffer capacity follows the *concurrent*
+    /// occupancy profile rather than the wheel's rotation: without this, a
+    /// steady-state run keeps allocating for a full 2^16-tick wrap as each
+    /// upper-level slot is touched for the first time. With it, warmed-up
+    /// windows are allocation-free (pinned by the `delivery_alloc` suite).
+    deque_pool: [Vec<VecDeque<Entry<E>>>; LEVELS],
 }
 
 impl<E> Default for EventQueue<E> {
@@ -181,7 +191,7 @@ impl<E> EventQueue<E> {
             seq: 0,
             len: 0,
             wheel_len: 0,
-            scratch: VecDeque::new(),
+            deque_pool: [Vec::new(), Vec::new(), Vec::new()],
         }
     }
 
@@ -252,6 +262,59 @@ impl<E> EventQueue<E> {
         self.pop()
     }
 
+    /// Pops the next pending event only when it is scheduled at exactly the
+    /// tick of the last popped event (the cursor) *and* `pred` accepts its
+    /// body. Returns `None` — touching nothing — otherwise.
+    ///
+    /// This is O(1), no settle or cascade: once an event at tick `t` has been
+    /// popped (`cursor == t`), every remaining entry with `time == t` already
+    /// sits in level-0 slot `t & 255`. An entry lands in the wheel either
+    /// directly (placement clamps to the cursor, and `t ^ cursor < 256`
+    /// selects level 0 slot `t & 255`) or via a cascade — and a cascade of
+    /// the slot *containing* `t` reinserts its entries against a cursor that
+    /// shares `t`'s upper bits, landing them in that same level-0 slot. An
+    /// overflow jump cannot intervene: it only happens when the wheel is
+    /// empty, which it isn't while a same-tick entry remains. Within the
+    /// slot, entries are FIFO in insertion order, which for equal times *is*
+    /// `(time, seq)` order — so the front of the slot is exactly the event
+    /// `pop` would return next.
+    ///
+    /// The cursor does not move (it already equals the popped tick), so
+    /// where later pushes land is unaffected. The kernel's delivery batcher
+    /// leans on this to coalesce same-tick runs without disturbing the total
+    /// order.
+    pub fn pop_same_tick_if(&mut self, pred: impl FnOnce(&E) -> bool) -> Option<(SimTime, E)> {
+        if self.wheel_len == 0 {
+            return None;
+        }
+        let s = (self.cursor & SLOT_MASK) as usize;
+        let front = self.levels[0].slots[s].front()?;
+        // `time != cursor` also rejects late-placed entries (time < cursor)
+        // parked in the cursor slot — those must pop through the normal path
+        // with their original timestamps.
+        if front.time != self.cursor || !pred(&front.body) {
+            return None;
+        }
+        Some(self.pop_settled(self.cursor, s))
+    }
+
+    /// Read-only twin of [`pop_same_tick_if`](Self::pop_same_tick_if): true
+    /// exactly when that call would pop something. The kernel's delivery
+    /// batcher probes this before committing to a coalescing run, so
+    /// singleton deliveries — the common case in unicast-heavy workloads —
+    /// skip the batch buffer entirely.
+    #[inline]
+    pub fn next_same_tick_matches(&self, pred: impl FnOnce(&E) -> bool) -> bool {
+        if self.wheel_len == 0 {
+            return false;
+        }
+        let s = (self.cursor & SLOT_MASK) as usize;
+        match self.levels[0].slots[s].front() {
+            Some(front) => front.time == self.cursor && pred(&front.body),
+            None => false,
+        }
+    }
+
     /// Placement tick of the earliest pending event, computed read-only.
     /// Equals the tick `settle` would return, without cascading.
     fn due_tick(&self) -> Option<u64> {
@@ -317,9 +380,9 @@ impl<E> EventQueue<E> {
     }
 
     /// Empties the queue while retaining every allocation (slot deques,
-    /// overflow heap, scratch buffer) and rewinds the cursor and sequence
-    /// counter, so a reused queue reproduces the exact pop order of a fresh
-    /// one.
+    /// overflow heap, recycled-deque pool) and rewinds the cursor and
+    /// sequence counter, so a reused queue reproduces the exact pop order of
+    /// a fresh one.
     pub fn clear(&mut self) {
         for level in &mut self.levels {
             level.clear();
@@ -329,7 +392,6 @@ impl<E> EventQueue<E> {
         self.seq = 0;
         self.len = 0;
         self.wheel_len = 0;
-        self.scratch.clear();
     }
 
     /// Places an entry at the level/slot its time selects relative to the
@@ -353,6 +415,11 @@ impl<E> EventQueue<E> {
             };
             let slot = ((place >> (SLOT_BITS * level as u32)) & SLOT_MASK) as usize;
             let lv = &mut self.levels[level];
+            if lv.slots[slot].capacity() == 0 {
+                if let Some(d) = self.deque_pool[level].pop() {
+                    lv.slots[slot] = d;
+                }
+            }
             lv.slots[slot].push_back(e);
             lv.mark(slot);
             self.wheel_len += 1;
@@ -406,6 +473,12 @@ impl<E> EventQueue<E> {
         let e = lv.slots[slot].pop_front().expect("settled slot non-empty");
         if lv.slots[slot].is_empty() {
             lv.unmark(slot);
+            // Retire the emptied deque so the next cold slot reuses its
+            // capacity instead of growing from scratch.
+            let d = std::mem::take(&mut lv.slots[slot]);
+            if d.capacity() > 0 {
+                self.deque_pool[0].push(d);
+            }
         }
         self.wheel_len -= 1;
         self.len -= 1;
@@ -423,15 +496,16 @@ impl<E> EventQueue<E> {
             (self.cursor & !((1u64 << span) - 1)) | ((s as u64) << (SLOT_BITS * l as u32));
         debug_assert!(window_start > self.cursor);
         self.cursor = window_start;
-        let mut batch = std::mem::take(&mut self.scratch);
-        std::mem::swap(&mut batch, &mut self.levels[l].slots[s]);
+        let mut batch = std::mem::take(&mut self.levels[l].slots[s]);
         self.levels[l].unmark(s);
         self.wheel_len -= batch.len();
         for e in batch.drain(..) {
             debug_assert!(e.time ^ self.cursor < 1 << (SLOT_BITS * l as u32));
             self.insert(e);
         }
-        self.scratch = batch;
+        if batch.capacity() > 0 {
+            self.deque_pool[l].push(batch);
+        }
     }
 
     /// Moves every overflow entry now within the cursor's region into the
@@ -723,6 +797,91 @@ mod tests {
             'y'
         );
         assert!(q.pop_if_at_or_before(SimTime::from_ticks(99)).is_none());
+    }
+
+    #[test]
+    fn pop_same_tick_if_drains_exactly_the_current_tick() {
+        let mut q = EventQueue::new();
+        q.push(SimTime::from_ticks(5), 'a');
+        q.push(SimTime::from_ticks(5), 'b');
+        q.push(SimTime::from_ticks(5), 'c');
+        q.push(SimTime::from_ticks(6), 'd');
+        assert_eq!(q.pop().unwrap(), (SimTime::from_ticks(5), 'a'));
+        assert_eq!(
+            q.pop_same_tick_if(|_| true).unwrap(),
+            (SimTime::from_ticks(5), 'b')
+        );
+        assert_eq!(
+            q.pop_same_tick_if(|_| true).unwrap(),
+            (SimTime::from_ticks(5), 'c')
+        );
+        // Tick 6 is pending but not at the cursor tick: untouched.
+        assert!(q.pop_same_tick_if(|_| true).is_none());
+        assert_eq!(q.pop().unwrap(), (SimTime::from_ticks(6), 'd'));
+    }
+
+    #[test]
+    fn pop_same_tick_if_respects_predicate() {
+        let mut q = EventQueue::new();
+        q.push(SimTime::from_ticks(9), 1);
+        q.push(SimTime::from_ticks(9), 2);
+        assert_eq!(q.pop().unwrap().1, 1);
+        assert!(q.pop_same_tick_if(|&e| e == 99).is_none());
+        // The rejected entry stays and pops through the normal path.
+        assert_eq!(q.pop().unwrap(), (SimTime::from_ticks(9), 2));
+    }
+
+    #[test]
+    fn pop_same_tick_if_sees_entries_that_cascaded_in() {
+        // Tick 300 starts on level 1; popping past 100 cascades it down.
+        // The same-tick invariant must hold for cascaded entries too.
+        let mut q = EventQueue::new();
+        q.push(SimTime::from_ticks(300), 'x');
+        q.push(SimTime::from_ticks(300), 'y');
+        q.push(SimTime::from_ticks(100), 'w');
+        assert_eq!(q.pop().unwrap().1, 'w');
+        assert_eq!(q.pop().unwrap(), (SimTime::from_ticks(300), 'x'));
+        assert_eq!(
+            q.pop_same_tick_if(|_| true).unwrap(),
+            (SimTime::from_ticks(300), 'y')
+        );
+        assert!(q.pop_same_tick_if(|_| true).is_none());
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn pop_same_tick_if_skips_late_entries() {
+        let mut q = EventQueue::new();
+        q.push(SimTime::from_ticks(1000), 'a');
+        assert_eq!(q.pop().unwrap().1, 'a');
+        // A late push parks at the front of the cursor slot with its
+        // original (earlier) time; it must not be claimed as a same-tick
+        // continuation even though a genuine tick-1000 entry sits behind it.
+        q.push(SimTime::from_ticks(5), 'l');
+        q.push(SimTime::from_ticks(1000), 'b');
+        assert!(q.pop_same_tick_if(|_| true).is_none());
+        assert_eq!(q.pop().unwrap(), (SimTime::from_ticks(5), 'l'));
+        // With the late entry out of the way the run resumes.
+        assert_eq!(q.pop_same_tick_if(|_| true).unwrap().1, 'b');
+    }
+
+    #[test]
+    fn pop_same_tick_if_interleaves_with_pushes() {
+        // The batcher pops a run while the kernel pushes follow-on events at
+        // later ticks; those pushes must not perturb the same-tick run.
+        let mut q = EventQueue::new();
+        for i in 0..4 {
+            q.push(SimTime::from_ticks(50), i);
+        }
+        assert_eq!(q.pop().unwrap().1, 0);
+        q.push(SimTime::from_ticks(55), 100);
+        assert_eq!(q.pop_same_tick_if(|_| true).unwrap().1, 1);
+        q.push(SimTime::from_ticks(52), 200);
+        assert_eq!(q.pop_same_tick_if(|_| true).unwrap().1, 2);
+        assert_eq!(q.pop_same_tick_if(|_| true).unwrap().1, 3);
+        assert!(q.pop_same_tick_if(|_| true).is_none());
+        assert_eq!(q.pop().unwrap().1, 200);
+        assert_eq!(q.pop().unwrap().1, 100);
     }
 
     #[test]

@@ -54,7 +54,7 @@
 //! assert_eq!(Fingerprint::from_hex(&a.to_hex()), Some(a));
 //! ```
 
-use crate::config::{LatencyConfig, NetworkConfig, Placement};
+use crate::config::{DeliveryMode, LatencyConfig, NetworkConfig, Placement};
 use crate::cost::{CostModel, EnergyModel};
 use crate::ids::{GroupId, MhId, MssId};
 use crate::latency::LatencyModel;
@@ -70,7 +70,7 @@ use crate::search::SearchPolicy;
 /// logic, default parameters. Doc, API-surface and pure-performance
 /// changes with bit-identical results keep the salt. The policy is
 /// documented in DESIGN.md ("Run cache").
-pub const KERNEL_VERSION_SALT: u64 = 4;
+pub const KERNEL_VERSION_SALT: u64 = 5;
 
 const LANE0_SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
 const LANE1_SEED: u64 = 0x9e_37_79_b9_7f_4a_7c_15;
@@ -427,6 +427,20 @@ impl CanonHash for Placement {
     }
 }
 
+impl CanonHash for DeliveryMode {
+    fn canon_hash(&self, h: &mut CanonHasher) {
+        // Both modes are proven byte-identical by the delivery_equivalence
+        // suites, but they are hashed apart anyway: the CI soundness gate
+        // re-runs the experiment pipeline per mode and `cmp`s the outputs —
+        // a shared fingerprint would let the second run replay the first
+        // run's cache records and prove nothing.
+        h.write_u64(match self {
+            DeliveryMode::Batched => 0,
+            DeliveryMode::Unbatched => 1,
+        });
+    }
+}
+
 impl CanonHash for NetworkConfig {
     fn canon_hash(&self, h: &mut CanonHasher) {
         // Destructured so adding a config field without extending the
@@ -443,6 +457,7 @@ impl CanonHash for NetworkConfig {
             disconnect,
             fault,
             placement,
+            delivery,
             supply_prev_on_join,
             seed,
         } = self;
@@ -456,6 +471,7 @@ impl CanonHash for NetworkConfig {
         disconnect.canon_hash(h);
         fault.canon_hash(h);
         placement.canon_hash(h);
+        delivery.canon_hash(h);
         supply_prev_on_join.canon_hash(h);
         h.write_u64(*seed);
     }
@@ -530,6 +546,10 @@ mod tests {
             base.clone().with_latency(LatencyConfig {
                 fixed: LatencyModel::Exp { mean: 5 },
                 ..LatencyConfig::default()
+            }),
+            base.clone().with_delivery(match base.delivery {
+                DeliveryMode::Batched => DeliveryMode::Unbatched,
+                DeliveryMode::Unbatched => DeliveryMode::Batched,
             }),
         ];
         let mut seen = vec![fp(&base)];

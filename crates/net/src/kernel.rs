@@ -20,7 +20,7 @@
 //! study.
 
 use crate::channel::{ChainKey, FifoChains, ReorderBuffers};
-use crate::config::{NetworkConfig, Placement};
+use crate::config::{DeliveryMode, NetworkConfig, Placement};
 use crate::error::NetError;
 use crate::event::EventQueue;
 use crate::host::{MhStatus, MssState, OutMsg};
@@ -86,6 +86,24 @@ enum Ev<M, T> {
         mh: MhId,
         epoch: u64,
         mode: DownMode,
+        msg: M,
+    },
+    /// A fused fixed-network fan-out: one shared payload delivered to a run
+    /// of destinations whose deliveries share this arrival tick (batched
+    /// delivery mode only). The destinations were scheduled by consecutive
+    /// pushes, so delivering them in `dsts` order at this event's position
+    /// reproduces the per-destination pop order exactly.
+    FixedFanout {
+        from: MssId,
+        dsts: Vec<MssId>,
+        msg: M,
+    },
+    /// A fused wireless cell-broadcast fan-out sharing one payload across a
+    /// same-arrival-tick run of recipients (batched delivery mode only).
+    /// Each recipient keeps its own captured epoch for the freshness check.
+    DownFanout {
+        mss: MssId,
+        recipients: Vec<(MhId, u64)>,
         msg: M,
     },
     /// A search-forwarded message arrived at the MSS believed to serve the
@@ -169,9 +187,22 @@ pub struct Kernel<M, T> {
     /// still in order, without re-charging — when the blocking condition
     /// clears. Always empty on fault-free runs.
     blocked: Vec<(MssId, MssId, M)>,
+    /// Logical events processed since reset. Batch and fan-out members are
+    /// counted individually, so both delivery modes report identical totals
+    /// for the same run (pinned by the delivery_equivalence suites).
+    events_processed: u64,
+    /// Recycled backing store for the single in-flight coalesced MSS batch
+    /// (the driver drains every batch before the next advance, so one slot
+    /// suffices; it round-trips through `ProtoEvent::MssBatch` and
+    /// [`recycle_batch`](Self::recycle_batch)).
+    batch_slot: Vec<(Src, M)>,
+    /// Freelist backing `Ev::FixedFanout` destination lists.
+    mss_pool: Vec<Vec<MssId>>,
+    /// Freelist backing `Ev::DownFanout` recipient lists.
+    down_pool: Vec<Vec<(MhId, u64)>>,
 }
 
-impl<M: Debug + 'static, T: Debug + 'static> Kernel<M, T> {
+impl<M: Debug + Clone + 'static, T: Debug + 'static> Kernel<M, T> {
     /// Builds a kernel: places MHs into cells and primes the autonomous
     /// mobility/disconnection processes.
     pub fn new(cfg: NetworkConfig) -> Self {
@@ -194,6 +225,10 @@ impl<M: Debug + 'static, T: Debug + 'static> Kernel<M, T> {
             down: Vec::new(),
             partition_cut: None,
             blocked: Vec::new(),
+            events_processed: 0,
+            batch_slot: Vec::new(),
+            mss_pool: Vec::new(),
+            down_pool: Vec::new(),
         };
         k.reset(cfg);
         k
@@ -267,6 +302,8 @@ impl<M: Debug + 'static, T: Debug + 'static> Kernel<M, T> {
         self.down.resize(m, false);
         self.partition_cut = None;
         self.blocked.clear();
+        self.events_processed = 0;
+        self.batch_slot.clear();
         for (idx, fe) in self.cfg.fault.events.iter().enumerate() {
             self.queue.push(self.now + fe.at.max(1), Ev::Fault { idx });
         }
@@ -409,13 +446,29 @@ impl<M: Debug + 'static, T: Debug + 'static> Kernel<M, T> {
         self.pending.pop_front()
     }
 
+    /// Logical events processed since construction/reset. Coalesced batch
+    /// members and fused fan-out recipients count individually, so both
+    /// delivery modes report the same total for the same run — and the
+    /// total equals the per-`advance` step count of the historical
+    /// one-event-per-message kernel.
+    pub fn events_processed(&self) -> u64 {
+        self.events_processed
+    }
+
+    /// Returns an emptied [`ProtoEvent::MssBatch`] vector to the kernel so
+    /// the next coalesced batch reuses its capacity.
+    pub(crate) fn recycle_batch(&mut self, mut msgs: Vec<(Src, M)>) {
+        msgs.clear();
+        self.batch_slot = msgs;
+    }
+
     pub(crate) fn advance(&mut self) -> bool {
         let Some((t, ev)) = self.queue.pop() else {
             return false;
         };
         debug_assert!(t >= self.now, "event time regressed");
         self.now = t;
-        self.process(ev);
+        self.dispatch(ev);
         true
     }
 
@@ -428,8 +481,112 @@ impl<M: Debug + 'static, T: Debug + 'static> Kernel<M, T> {
         };
         debug_assert!(t >= self.now, "event time regressed");
         self.now = t;
-        self.process(ev);
+        self.dispatch(ev);
         true
+    }
+
+    /// Routes a popped event: in batched mode, a unicast delivery to a fixed
+    /// host opens a coalescing run over the current tick; everything else
+    /// (and everything in unbatched mode) processes one event at a time.
+    #[inline]
+    fn dispatch(&mut self, ev: Ev<M, T>) {
+        if self.cfg.delivery == DeliveryMode::Batched {
+            let at = match &ev {
+                Ev::FixedDeliver { to, .. } => Some(*to),
+                Ev::UpDeliver { mss, .. } => Some(*mss),
+                _ => None,
+            };
+            if let Some(at) = at {
+                self.coalesce_at(at, ev);
+                return;
+            }
+        }
+        self.process(ev);
+    }
+
+    /// Coalesces the maximal run of consecutive same-tick unicast deliveries
+    /// to fixed host `at` — starting with the already-popped `first` — into
+    /// one batch, dispatched through a single `MssBatch` protocol event.
+    ///
+    /// Determinism: the run is contiguous in `(time, seq)` pop order (the
+    /// O(1) [`EventQueue::pop_same_tick_if`] only claims the true next
+    /// event), processing a member reads only fault-plane state that no
+    /// protocol callback can mutate, and every kernel push is at least one
+    /// tick ahead of `now` — so nothing a deferred callback does can
+    /// reorder, admit into, or evict from the run. The batch's callbacks
+    /// then run in exactly the order the per-event path would have produced
+    /// (see DESIGN.md §7 for the full argument).
+    fn coalesce_at(&mut self, at: MssId, first: Ev<M, T>) {
+        // Singleton fast path: no same-tick follower to this destination,
+        // so no run can form — dispatch through the plain per-event path
+        // without touching the batch buffer. Unicast-heavy workloads (ring
+        // topologies, search traffic) take this branch almost always, and
+        // it is exactly the unbatched path, so it costs them one O(1) slot
+        // peek over unbatched mode.
+        if !self.queue.next_same_tick_matches(|e| {
+            matches!(e, Ev::FixedDeliver { to, .. } if *to == at)
+                || matches!(e, Ev::UpDeliver { mss, .. } if *mss == at)
+        }) {
+            self.process(first);
+            return;
+        }
+        let mut batch = std::mem::take(&mut self.batch_slot);
+        debug_assert!(batch.is_empty());
+        self.append_mss_delivery(at, first, &mut batch);
+        while let Some((_, ev)) = self.queue.pop_same_tick_if(|e| {
+            matches!(e, Ev::FixedDeliver { to, .. } if *to == at)
+                || matches!(e, Ev::UpDeliver { mss, .. } if *mss == at)
+        }) {
+            self.append_mss_delivery(at, ev, &mut batch);
+        }
+        match batch.len() {
+            // Every member was deferred by the fault plane: no callback.
+            0 => {}
+            // Singletons dispatch as a plain message — batches are always
+            // two or more, so `on_mss_batch` overrides only see real runs.
+            1 => {
+                let (src, msg) = batch.pop().expect("len checked");
+                self.pending.push_back(ProtoEvent::MssMsg { at, src, msg });
+            }
+            len => {
+                let len = len as u32;
+                self.emit(|| TraceEvent::DeliverBatch { at, len });
+                self.pending
+                    .push_back(ProtoEvent::MssBatch { at, msgs: batch });
+                // The driver recycles the vector after dispatch.
+                return;
+            }
+        }
+        self.batch_slot = batch;
+    }
+
+    /// Processes one coalesced-run member: fault-plane deferral and receive
+    /// tracing exactly as the per-event path, with the delivery itself
+    /// appended to `batch` instead of `pending`.
+    fn append_mss_delivery(&mut self, at: MssId, ev: Ev<M, T>, batch: &mut Vec<(Src, M)>) {
+        self.events_processed += 1;
+        match ev {
+            Ev::FixedDeliver { from, to, msg } => {
+                debug_assert_eq!(to, at);
+                if self.wired_blocked(from, to)
+                    || (!self.blocked.is_empty()
+                        && self.blocked.iter().any(|(f, t, _)| *f == from && *t == to))
+                {
+                    self.blocked.push((from, to, msg));
+                    return;
+                }
+                if from != to {
+                    self.emit(|| TraceEvent::FixedRecv { at: to, from });
+                }
+                batch.push((Src::Mss(from), msg));
+            }
+            Ev::UpDeliver { mh, mss, msg } => {
+                debug_assert_eq!(mss, at);
+                self.emit(|| TraceEvent::UpRecv { mss, mh });
+                batch.push((Src::Mh(mh), msg));
+            }
+            _ => unreachable!("only unicast MSS deliveries are coalesced"),
+        }
     }
 
     // ----- send operations -------------------------------------------------
@@ -451,6 +608,81 @@ impl<M: Debug + 'static, T: Debug + 'static> Kernel<M, T> {
         self.queue.push(at, Ev::FixedDeliver { from, to, msg });
     }
 
+    /// Sends `msg` to every other MSS over the fixed network (cost
+    /// `(M − 1)·C_fixed`). Charges, trace emissions, latency draws and FIFO
+    /// clamping are per destination, identical to a loop of
+    /// [`send_fixed`](Self::send_fixed); in batched delivery mode one
+    /// payload is stored per same-arrival-tick run of destinations and the
+    /// ledger charge is fused across the fan-out.
+    pub fn broadcast_fixed(&mut self, from: MssId, msg: M) {
+        let m = self.cfg.num_mss as u32;
+        if m <= 1 {
+            return;
+        }
+        if self.cfg.delivery == DeliveryMode::Unbatched {
+            let mut msg = Some(msg);
+            for i in 0..m {
+                let to = MssId(i);
+                if to == from {
+                    continue;
+                }
+                let last = if from == MssId(m - 1) { m - 2 } else { m - 1 };
+                let payload = if i == last {
+                    msg.take().expect("payload present until last")
+                } else {
+                    msg.as_ref().expect("payload present until last").clone()
+                };
+                self.send_fixed(from, to, payload);
+            }
+            return;
+        }
+        // Batched: one fused charge, then group consecutive destinations
+        // whose FIFO-clamped arrivals share a tick into shared-payload
+        // fan-out events. With the default constant latency and un-clamped
+        // chains this is a single event for the whole fan-out.
+        self.ledger.charge_fixed_n(&self.cfg.cost, (m - 1) as u64);
+        let mut group = self.mss_pool.pop().unwrap_or_default();
+        debug_assert!(group.is_empty());
+        let mut group_at = SimTime::ZERO;
+        let mut msg = Some(msg);
+        for i in 0..m {
+            let to = MssId(i);
+            if to == from {
+                continue;
+            }
+            self.emit(|| TraceEvent::FixedSend { from, to });
+            let lat = self.cfg.latency.fixed.sample(&mut self.rng);
+            let at = self
+                .fifo
+                .schedule(ChainKey::Fixed(from, to), self.now + lat);
+            if !group.is_empty() && at != group_at {
+                let payload = msg.as_ref().expect("payload present until last").clone();
+                let flushed =
+                    std::mem::replace(&mut group, self.mss_pool.pop().unwrap_or_default());
+                self.push_fixed_group(from, flushed, group_at, payload);
+            }
+            group_at = at;
+            group.push(to);
+        }
+        let payload = msg.take().expect("payload present until last");
+        self.push_fixed_group(from, group, group_at, payload);
+    }
+
+    /// Enqueues one arrival-tick group of a fixed broadcast: singletons as a
+    /// plain delivery (recycling the list), larger groups as a fused
+    /// fan-out.
+    fn push_fixed_group(&mut self, from: MssId, mut dsts: Vec<MssId>, at: SimTime, msg: M) {
+        debug_assert!(!dsts.is_empty());
+        if dsts.len() == 1 {
+            let to = dsts[0];
+            dsts.clear();
+            self.mss_pool.push(dsts);
+            self.queue.push(at, Ev::FixedDeliver { from, to, msg });
+        } else {
+            self.queue.push(at, Ev::FixedFanout { from, dsts, msg });
+        }
+    }
+
     /// Wireless downlink send to a local MH.
     ///
     /// # Errors
@@ -467,9 +699,10 @@ impl<M: Debug + 'static, T: Debug + 'static> Kernel<M, T> {
 
     /// Broadcasts over the cell's wireless channel: **one** transmission
     /// (one `C_wireless` charge) reaches every MH currently local to `mss`;
-    /// each listener still pays its own reception energy. Returns the
-    /// number of recipients.
-    pub fn broadcast_cell(&mut self, mss: MssId, mut make: impl FnMut() -> M) -> usize {
+    /// each listener still pays its own reception energy. One payload is
+    /// stored per same-arrival-tick run of recipients and cloned only at
+    /// delivery. Returns the number of recipients.
+    pub fn broadcast_cell(&mut self, mss: MssId, msg: M) -> usize {
         // Reuse the kernel-owned scratch buffer: BTreeSet iteration is
         // sorted (deterministic) and the Vec's capacity survives the call.
         let mut locals = std::mem::take(&mut self.scratch_locals);
@@ -485,24 +718,92 @@ impl<M: Debug + 'static, T: Debug + 'static> Kernel<M, T> {
         let listeners = locals.len() as u32;
         self.emit(|| TraceEvent::CellBroadcast { mss, listeners });
         let lat = self.cfg.latency.wireless.sample(&mut self.rng);
-        for mh in &locals {
-            let epoch = self.mhs.epoch(*mh);
-            self.mhs.incr_down_sent(*mh);
-            let at = self.fifo.schedule(ChainKey::Down(mss, *mh), self.now + lat);
+        let n = locals.len();
+        let mut msg = Some(msg);
+        if self.cfg.delivery == DeliveryMode::Unbatched {
+            for (i, mh) in locals.iter().enumerate() {
+                let epoch = self.mhs.epoch(*mh);
+                self.mhs.incr_down_sent(*mh);
+                let at = self.fifo.schedule(ChainKey::Down(mss, *mh), self.now + lat);
+                let payload = if i == n - 1 {
+                    msg.take().expect("payload present until last")
+                } else {
+                    msg.as_ref().expect("payload present until last").clone()
+                };
+                self.queue.push(
+                    at,
+                    Ev::DownDeliver {
+                        mss,
+                        mh: *mh,
+                        epoch,
+                        mode: DownMode::Local,
+                        msg: payload,
+                    },
+                );
+            }
+        } else {
+            // Batched: group consecutive recipients whose FIFO-clamped
+            // arrivals share a tick into shared-payload fan-out events —
+            // one wheel entry and one payload for the whole cell with the
+            // default constant latency.
+            let mut group = self.down_pool.pop().unwrap_or_default();
+            debug_assert!(group.is_empty());
+            let mut group_at = SimTime::ZERO;
+            for mh in &locals {
+                let epoch = self.mhs.epoch(*mh);
+                self.mhs.incr_down_sent(*mh);
+                let at = self.fifo.schedule(ChainKey::Down(mss, *mh), self.now + lat);
+                if !group.is_empty() && at != group_at {
+                    let payload = msg.as_ref().expect("payload present until last").clone();
+                    let flushed =
+                        std::mem::replace(&mut group, self.down_pool.pop().unwrap_or_default());
+                    self.push_down_group(mss, flushed, group_at, payload);
+                }
+                group_at = at;
+                group.push((*mh, epoch));
+            }
+            let payload = msg.take().expect("payload present until last");
+            self.push_down_group(mss, group, group_at, payload);
+        }
+        self.scratch_locals = locals;
+        n
+    }
+
+    /// Enqueues one arrival-tick group of a cell broadcast: singletons as a
+    /// plain downlink delivery (recycling the list), larger groups as a
+    /// fused fan-out.
+    fn push_down_group(
+        &mut self,
+        mss: MssId,
+        mut recipients: Vec<(MhId, u64)>,
+        at: SimTime,
+        msg: M,
+    ) {
+        debug_assert!(!recipients.is_empty());
+        if recipients.len() == 1 {
+            let (mh, epoch) = recipients[0];
+            recipients.clear();
+            self.down_pool.push(recipients);
             self.queue.push(
                 at,
                 Ev::DownDeliver {
                     mss,
-                    mh: *mh,
+                    mh,
                     epoch,
                     mode: DownMode::Local,
-                    msg: make(),
+                    msg,
+                },
+            );
+        } else {
+            self.queue.push(
+                at,
+                Ev::DownFanout {
+                    mss,
+                    recipients,
+                    msg,
                 },
             );
         }
-        let n = locals.len();
-        self.scratch_locals = locals;
-        n
     }
 
     /// Wireless uplink send from an MH to its current local MSS; buffered
@@ -760,6 +1061,12 @@ impl<M: Debug + 'static, T: Debug + 'static> Kernel<M, T> {
     }
 
     fn process(&mut self, ev: Ev<M, T>) {
+        self.events_processed += match &ev {
+            // Fused fan-outs carry one logical message per receiver.
+            Ev::FixedFanout { dsts, .. } => dsts.len() as u64,
+            Ev::DownFanout { recipients, .. } => recipients.len() as u64,
+            _ => 1,
+        };
         match ev {
             Ev::FixedDeliver { from, to, msg } => {
                 // Fault plane: defer delivery while either endpoint is down
@@ -817,6 +1124,58 @@ impl<M: Debug + 'static, T: Debug + 'static> Kernel<M, T> {
                 mode,
                 msg,
             } => self.deliver_down(mss, mh, epoch, mode, msg),
+            Ev::FixedFanout {
+                from,
+                mut dsts,
+                msg,
+            } => {
+                // Per-destination delivery in push order — exactly the order
+                // the per-event path pops, since the fan-out's members were
+                // scheduled by consecutive pushes at one tick. The shared
+                // payload clones per destination; the last takes it.
+                let last = dsts.len() - 1;
+                let mut msg = Some(msg);
+                for (i, to) in dsts.drain(..).enumerate() {
+                    let payload = if i == last {
+                        msg.take().expect("payload present until last")
+                    } else {
+                        msg.as_ref().expect("payload present until last").clone()
+                    };
+                    if self.wired_blocked(from, to)
+                        || (!self.blocked.is_empty()
+                            && self.blocked.iter().any(|(f, t, _)| *f == from && *t == to))
+                    {
+                        self.blocked.push((from, to, payload));
+                        continue;
+                    }
+                    // Broadcasts never self-send, so every member is a real
+                    // fixed-network delivery.
+                    self.emit(|| TraceEvent::FixedRecv { at: to, from });
+                    self.pending.push_back(ProtoEvent::MssMsg {
+                        at: to,
+                        src: Src::Mss(from),
+                        msg: payload,
+                    });
+                }
+                self.mss_pool.push(dsts);
+            }
+            Ev::DownFanout {
+                mss,
+                mut recipients,
+                msg,
+            } => {
+                let last = recipients.len() - 1;
+                let mut msg = Some(msg);
+                for (i, (mh, epoch)) in recipients.drain(..).enumerate() {
+                    let payload = if i == last {
+                        msg.take().expect("payload present until last")
+                    } else {
+                        msg.as_ref().expect("payload present until last").clone()
+                    };
+                    self.deliver_down(mss, mh, epoch, DownMode::Local, payload);
+                }
+                self.down_pool.push(recipients);
+            }
             Ev::SearchArrive {
                 target,
                 at,
@@ -919,10 +1278,15 @@ impl<M: Debug + 'static, T: Debug + 'static> Kernel<M, T> {
                 // Resident MHs evacuate through the ordinary leave/join
                 // choreography (destinations from the run's MovePattern,
                 // redirected if they land on a down cell at join time).
-                let locals: Vec<MhId> = self.msss[mss.index()].local.iter().collect();
-                for mh in locals {
+                // Snapshotted through the kernel's scratch buffer — `do_leave`
+                // mutates the membership set but never touches the scratch.
+                let mut locals = std::mem::take(&mut self.scratch_locals);
+                locals.clear();
+                locals.extend(self.msss[mss.index()].local.iter());
+                for mh in locals.drain(..) {
                     self.do_leave(mh, None);
                 }
+                self.scratch_locals = locals;
                 self.queue
                     .push(self.now + down_for.max(1), Ev::MssRecover { mss });
             }

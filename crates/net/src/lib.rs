@@ -77,7 +77,7 @@ pub mod trace;
 
 /// Convenient glob import for protocol authors.
 pub mod prelude {
-    pub use crate::config::{LatencyConfig, NetworkConfig, Placement};
+    pub use crate::config::{DeliveryMode, LatencyConfig, NetworkConfig, Placement};
     pub use crate::cost::{CostModel, EnergyModel};
     pub use crate::error::NetError;
     pub use crate::fault::{FaultConfig, FaultEvent, FaultKind};
@@ -88,10 +88,12 @@ pub mod prelude {
     pub use crate::metrics::{Histogram, Metrics, MetricsSink};
     pub use crate::mobility::{DisconnectConfig, MobilityConfig, MoveCtx, MovePattern};
     pub use crate::obs::{JsonlSink, RingSink, TraceEvent, TraceSink};
-    pub use crate::proto::{Ctx, Protocol, Src};
+    pub use crate::proto::{Ctx, MsgBatch, Protocol, Src};
     pub use crate::rng::SimRng;
     pub use crate::search::SearchPolicy;
-    pub use crate::shard::{run_scale, run_scale_traced, ScaleReport, ScaleSpec};
+    pub use crate::shard::{
+        run_scale, run_scale_traced, run_scale_with_mode, ScaleReport, ScaleSpec,
+    };
     pub use crate::sim::{SimPool, Simulation};
     pub use crate::time::SimTime;
 }

@@ -288,6 +288,18 @@ pub enum TraceEvent {
         /// Number of client operations served in this batch.
         size: u32,
     },
+    /// The delivery engine coalesced `len` same-tick wired/uplink arrivals
+    /// at one MSS into a single batched protocol callback
+    /// (`DeliveryMode::Batched` only; `len >= 2`). Purely diagnostic: the
+    /// coalesced messages were each charged and traced at their own
+    /// send/receive events, so this carries no message charge of its own and
+    /// is excluded from message-class accounting.
+    DeliverBatch {
+        /// The MSS whose arrivals were coalesced.
+        at: MssId,
+        /// Number of messages dispatched in the batch.
+        len: u32,
+    },
     /// The fault plane crashed an MSS (fail-stop with stable state; see
     /// SCENARIOS.md). One ledger `fault_crashes` custom counter bump per
     /// event — `tracereport --check` reconciles the counts.
@@ -348,6 +360,7 @@ impl TraceEvent {
             TraceEvent::ShardSync { .. } => "shard_sync",
             TraceEvent::ShardRecv { .. } => "shard_recv",
             TraceEvent::CombineBatch { .. } => "combine_batch",
+            TraceEvent::DeliverBatch { .. } => "deliver_batch",
             TraceEvent::FaultCrash { .. } => "fault_crash",
             TraceEvent::FaultRecover { .. } => "fault_recover",
             TraceEvent::FaultPartition { .. } => "fault_partition",
@@ -466,6 +479,10 @@ impl TraceEvent {
             TraceEvent::CombineBatch { mss, size } => {
                 num("mss", mss.0 as u64);
                 num("size", size as u64);
+            }
+            TraceEvent::DeliverBatch { at, len } => {
+                num("at", at.0 as u64);
+                num("len", len as u64);
             }
             TraceEvent::FaultCrash { mss } | TraceEvent::FaultRecover { mss } => {
                 num("mss", mss.0 as u64);
@@ -1200,6 +1217,10 @@ pub fn parse_line(line: &str) -> Result<Line, ParseError> {
                     mss: mss(&f, "mss")?,
                     size: f.num("size")? as u32,
                 },
+                "deliver_batch" => TraceEvent::DeliverBatch {
+                    at: mss(&f, "at")?,
+                    len: f.num("len")? as u32,
+                },
                 "fault_crash" => TraceEvent::FaultCrash {
                     mss: mss(&f, "mss")?,
                 },
@@ -1328,6 +1349,10 @@ mod tests {
             TraceEvent::CombineBatch {
                 mss: MssId(3),
                 size: 12,
+            },
+            TraceEvent::DeliverBatch {
+                at: MssId(5),
+                len: 3,
             },
             TraceEvent::FaultCrash { mss: MssId(2) },
             TraceEvent::FaultRecover { mss: MssId(2) },

@@ -68,6 +68,18 @@ pub enum ProtoEvent<M, T> {
         /// Payload.
         msg: M,
     },
+    /// A coalesced run of messages (two or more) arrived at one fixed host
+    /// at the same tick. Dispatched through [`Protocol::on_mss_batch`] in
+    /// the exact `(time, seq)` order the messages would have arrived
+    /// individually; the kernel only forms batches where that order is
+    /// provably unobservable (see DESIGN.md §7). The `Vec` is recycled by
+    /// the driver after dispatch.
+    MssBatch {
+        /// Receiving MSS.
+        at: MssId,
+        /// `(sender, payload)` pairs in arrival order.
+        msgs: Vec<(Src, M)>,
+    },
     /// A protocol timer fired.
     Timer(T),
     /// An MH joined a cell (`join()`); `prev` carries the previous MSS id
@@ -138,13 +150,20 @@ pub enum ProtoEvent<M, T> {
     },
 }
 
+/// A coalesced same-tick run of `(sender, payload)` pairs delivered to one
+/// fixed host, in arrival order. Passed by value to
+/// [`Protocol::on_mss_batch`]; dropping it discards undelivered messages.
+pub type MsgBatch<'a, M> = std::vec::Drain<'a, (Src, M)>;
+
 /// A distributed algorithm (or harness) running on the two-tier network.
 ///
 /// All methods have no-op defaults except the two message deliveries, so
 /// simple protocols implement only what they use.
 pub trait Protocol: Sized + 'static {
-    /// Application message payload.
-    type Msg: Debug + 'static;
+    /// Application message payload. `Clone` lets broadcast fan-outs share
+    /// one payload and copy only at delivery (every payload in this
+    /// workspace is `Copy` or a cheap clone).
+    type Msg: Debug + Clone + 'static;
     /// Timer payload.
     type Timer: Debug + 'static;
 
@@ -170,6 +189,23 @@ pub trait Protocol: Sized + 'static {
         src: Src,
         msg: Self::Msg,
     );
+
+    /// A coalesced run of same-tick messages arrived at one fixed host
+    /// (batched delivery mode only; always two or more messages, in the
+    /// exact order [`on_mss_msg`](Protocol::on_mss_msg) would have seen
+    /// them). The default unrolls the batch through `on_mss_msg`, so
+    /// protocols observe identical callback sequences in both delivery
+    /// modes unless they override this for batch-aware handling.
+    fn on_mss_batch(
+        &mut self,
+        ctx: &mut Ctx<'_, Self::Msg, Self::Timer>,
+        at: MssId,
+        batch: MsgBatch<'_, Self::Msg>,
+    ) {
+        for (src, msg) in batch {
+            self.on_mss_msg(ctx, at, src, msg);
+        }
+    }
 
     /// A protocol timer fired.
     fn on_timer(&mut self, ctx: &mut Ctx<'_, Self::Msg, Self::Timer>, timer: Self::Timer) {
@@ -258,7 +294,7 @@ pub struct Ctx<'a, M, T> {
     pub(crate) k: &'a mut Kernel<M, T>,
 }
 
-impl<'a, M: Debug + 'static, T: Debug + 'static> Ctx<'a, M, T> {
+impl<'a, M: Debug + Clone + 'static, T: Debug + 'static> Ctx<'a, M, T> {
     /// Current simulated time.
     pub fn now(&self) -> SimTime {
         self.k.now()
@@ -300,17 +336,12 @@ impl<'a, M: Debug + 'static, T: Debug + 'static> Ctx<'a, M, T> {
         self.k.send_fixed(from, to, msg);
     }
 
-    /// Sends `msg` to every other MSS (cost `(M − 1)·C_fixed`). The payload
-    /// must be cloneable by the caller; this method takes a closure to build
-    /// each copy.
-    pub fn broadcast_fixed(&mut self, from: MssId, mut make: impl FnMut() -> M) {
-        let m = self.k.config().num_mss as u32;
-        for i in 0..m {
-            let to = MssId(i);
-            if to != from {
-                self.k.send_fixed(from, to, make());
-            }
-        }
+    /// Sends `msg` to every other MSS (cost `(M − 1)·C_fixed`). One payload
+    /// is stored for the whole fan-out and cloned only at delivery; in
+    /// batched delivery mode the charge and the wheel traffic are fused
+    /// across the fan-out too.
+    pub fn broadcast_fixed(&mut self, from: MssId, msg: M) {
+        self.k.broadcast_fixed(from, msg);
     }
 
     /// Sends on the wireless downlink to a local MH (cost `C_wireless`).
@@ -323,10 +354,11 @@ impl<'a, M: Debug + 'static, T: Debug + 'static> Ctx<'a, M, T> {
     }
 
     /// Broadcasts on the cell's wireless channel: one `C_wireless` charge
-    /// reaches every MH local to `mss` (each pays reception energy).
+    /// reaches every MH local to `mss` (each pays reception energy). One
+    /// payload is stored for the fan-out and cloned per delivery.
     /// Returns the recipient count.
-    pub fn broadcast_cell(&mut self, mss: MssId, make: impl FnMut() -> M) -> usize {
-        self.k.broadcast_cell(mss, make)
+    pub fn broadcast_cell(&mut self, mss: MssId, msg: M) -> usize {
+        self.k.broadcast_cell(mss, msg)
     }
 
     /// Sends on the wireless uplink from an MH to its current local MSS

@@ -188,6 +188,13 @@ impl<P: Protocol> Simulation<P> {
             match pe {
                 ProtoEvent::MssMsg { at, src, msg } => self.proto.on_mss_msg(ctx, at, src, msg),
                 ProtoEvent::MhMsg { at, src, msg } => self.proto.on_mh_msg(ctx, at, src, msg),
+                ProtoEvent::MssBatch { at, mut msgs } => {
+                    // Drain by value: dropping the iterator clears leftovers,
+                    // and the emptied vector's capacity goes back to the
+                    // kernel for the next batch.
+                    self.proto.on_mss_batch(ctx, at, msgs.drain(..));
+                    self.kernel.recycle_batch(msgs);
+                }
                 ProtoEvent::Timer(t) => self.proto.on_timer(ctx, t),
                 ProtoEvent::Joined { mh, mss, prev } => self.proto.on_mh_joined(ctx, mh, mss, prev),
                 ProtoEvent::Left { mh, mss } => self.proto.on_mh_left(ctx, mh, mss),

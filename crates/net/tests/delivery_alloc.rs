@@ -1,0 +1,158 @@
+//! Steady-state allocation discipline of the batched delivery engine.
+//!
+//! The delivery engine recycles everything it hands out — fan-out
+//! destination vectors, downlink recipient lists, batch buffers — through
+//! per-kernel pools, so once a run has warmed up, processing further
+//! windows must allocate **nothing**. A counting global allocator pins
+//! that: the whole-run allocation count of a quick E12-ladder point must
+//! not change when the horizon doubles (every allocation happens during
+//! construction and warm-up, none per processed window), and a
+//! steady-state broadcast storm on the single-kernel path must allocate
+//! zero once warm.
+
+use mobidist_net::prelude::*;
+use mobidist_net::shard::run_scale_with_mode;
+use mobidist_net::time::SimTime;
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+/// Counts every allocation and reallocation made through the global
+/// allocator. Frees are uncounted: the contract is about acquiring
+/// memory in steady state, not returning it.
+struct CountingAlloc;
+
+static ALLOCS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        System.alloc_zeroed(layout)
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+/// The two tests share one process-global counter; serialise them.
+/// (Poisoning is irrelevant — the guard only provides mutual exclusion.)
+static COUNTER_LOCK: Mutex<()> = Mutex::new(());
+
+fn counter_guard() -> std::sync::MutexGuard<'static, ()> {
+    COUNTER_LOCK.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+fn allocations_during<T>(f: impl FnOnce() -> T) -> (u64, T) {
+    let before = ALLOCS.load(Ordering::SeqCst);
+    let out = f();
+    (ALLOCS.load(Ordering::SeqCst) - before, out)
+}
+
+/// An everlasting convergecast wave with constant message population:
+/// MSS 0 broadcasts, every peer replies to MSS 0 (the `M - 1` replies land
+/// on the same tick — exactly the shape the coalescer batches), and once
+/// all replies are in, MSS 0 starts the next round. The payload is `Copy`
+/// so nothing in the protocol itself allocates.
+#[derive(Debug, Default)]
+struct Wave {
+    arrivals: u64,
+    pending: u32,
+}
+
+/// Wave payloads: even = probe out, odd = reply back.
+const PROBE: u32 = 0;
+const REPLY: u32 = 1;
+
+impl Protocol for Wave {
+    type Msg = u32;
+    type Timer = ();
+
+    fn on_start(&mut self, ctx: &mut Ctx<'_, u32, ()>) {
+        self.pending = ctx.num_mss() as u32 - 1;
+        ctx.broadcast_fixed(MssId(0), PROBE);
+    }
+
+    fn on_mss_msg(&mut self, ctx: &mut Ctx<'_, u32, ()>, at: MssId, _: Src, msg: u32) {
+        self.arrivals += 1;
+        if msg == PROBE {
+            ctx.send_fixed(at, MssId(0), REPLY);
+        } else {
+            self.pending -= 1;
+            if self.pending == 0 {
+                self.pending = ctx.num_mss() as u32 - 1;
+                ctx.broadcast_fixed(MssId(0), PROBE);
+            }
+        }
+    }
+
+    fn on_mh_msg(&mut self, _: &mut Ctx<'_, u32, ()>, _: MhId, _: Src, _: u32) {}
+}
+
+#[test]
+fn steady_state_broadcast_storm_allocates_nothing() {
+    let _guard = counter_guard();
+    let cfg = NetworkConfig::new(8, 16)
+        .with_seed(5)
+        .with_delivery(DeliveryMode::Batched);
+    let mut sim = Simulation::new(cfg, Wave::default());
+    // Warm-up: pools fill, wheel slots and channel buffers reach capacity.
+    // Run past one full level-1 wrap of the timing wheel (2^16 ticks) so
+    // even the rarest recycled buffer — the level-2 slot touched once per
+    // wrap — has been through its first allocation.
+    sim.run_until(SimTime::from_ticks(70_000));
+    let warm_arrivals = sim.protocol().arrivals;
+    assert!(warm_arrivals > 1_000, "storm failed to sustain itself");
+
+    let (allocs, _) = allocations_during(|| sim.run_until(SimTime::from_ticks(200_000)));
+    let processed = sim.protocol().arrivals - warm_arrivals;
+    assert!(processed > 4_000, "storm died after warm-up");
+    assert_eq!(
+        allocs, 0,
+        "steady-state windows must be allocation-free, got {allocs} \
+         allocations over {processed} deliveries"
+    );
+}
+
+#[test]
+fn e12_ladder_point_allocations_are_horizon_invariant() {
+    let _guard = counter_guard();
+    // The quick-E12 ladder's smallest point (1000 hosts over 64 cells,
+    // seed 1202), run single-sharded so thread plumbing stays out of the
+    // count. Whole-run allocations plateau once every recycled buffer —
+    // lane double-buffers, wheel slot deques, fan-out pools — has hit its
+    // occupancy high-water mark (~16k ticks for this spec); past that,
+    // extending the horizon must not allocate once more.
+    let spec = |horizon| {
+        ScaleSpec::new(64, 1_000)
+            .with_seed(1202)
+            .with_horizon(horizon)
+    };
+    // Warm the process itself (lazy statics, thread-locals) out of the
+    // measurement.
+    let _ = run_scale_with_mode(&spec(500), 1, DeliveryMode::Batched);
+
+    let (base, short) =
+        allocations_during(|| run_scale_with_mode(&spec(20_000), 1, DeliveryMode::Batched));
+    let (extended, long) =
+        allocations_during(|| run_scale_with_mode(&spec(24_000), 1, DeliveryMode::Batched));
+    assert!(
+        long.events > short.events,
+        "longer horizon must do more work"
+    );
+    assert_eq!(
+        extended, base,
+        "extending the horizon past warm-up changed the allocation count \
+         ({base} -> {extended}): some per-window path still allocates"
+    );
+}

@@ -546,7 +546,7 @@ fn local_mh_lists_track_membership() {
 #[test]
 fn cell_broadcast_charges_once_and_reaches_all_locals() {
     let mut s = sim(2, 6); // mh0,2,4 at mss0; mh1,3,5 at mss1
-    let n = s.with_ctx(|ctx, _| ctx.broadcast_cell(MssId(0), || "hi".into()));
+    let n = s.with_ctx(|ctx, _| ctx.broadcast_cell(MssId(0), "hi".into()));
     assert_eq!(n, 3);
     s.run_to_quiescence(10_000);
     let r = s.protocol();
@@ -564,7 +564,7 @@ fn cell_broadcast_charges_once_and_reaches_all_locals() {
 #[test]
 fn cell_broadcast_to_empty_cell_is_free() {
     let mut s = sim(3, 2); // mss2 has no MHs
-    let n = s.with_ctx(|ctx, _| ctx.broadcast_cell(MssId(2), || "void".into()));
+    let n = s.with_ctx(|ctx, _| ctx.broadcast_cell(MssId(2), "void".into()));
     assert_eq!(n, 0);
     s.run_to_quiescence(10_000);
     assert_eq!(s.ledger().wireless_msgs, 0);
@@ -575,7 +575,7 @@ fn cell_broadcast_to_empty_cell_is_free() {
 fn cell_broadcast_respects_prefix_delivery() {
     let mut s = sim(2, 4);
     s.with_ctx(|ctx, _| {
-        ctx.broadcast_cell(MssId(0), || "catch".into());
+        ctx.broadcast_cell(MssId(0), "catch".into());
         // mh0 leaves before the broadcast lands; mh2 stays.
         ctx.initiate_move(MhId(0), Some(MssId(1)));
     });

@@ -59,11 +59,13 @@ fn spec_fingerprint_is_shard_count_free() {
 #[test]
 fn kernel_salt_tracks_behaviour_changes() {
     // The sharded kernel (1 → 2), the workload hold-profile knob's new
-    // canonical encoding (2 → 3), and the mobility-zoo/fault-plane additions
-    // (3 → 4) each changed what a fingerprint means, so the version salt
-    // must sit at its post-fault-plane value. Any future behaviour-affecting
-    // change must move it again — update this pin when it does.
-    assert_eq!(KERNEL_VERSION_SALT, 4);
+    // canonical encoding (2 → 3), the mobility-zoo/fault-plane additions
+    // (3 → 4), and the batched delivery engine with its canon-hashed
+    // delivery mode (4 → 5) each changed what a fingerprint means, so the
+    // version salt must sit at its post-delivery-engine value. Any future
+    // behaviour-affecting change must move it again — update this pin when
+    // it does.
+    assert_eq!(KERNEL_VERSION_SALT, 5);
 }
 
 #[test]

@@ -353,9 +353,7 @@ impl<A: StaticAlgorithm> ProxyRuntime<A> {
                 size: items.len() as u32,
             });
             ctx.bump("combine_batches");
-            ctx.broadcast_cell(mss, || PrxMsg::OutputBatch {
-                items: items.clone(),
-            });
+            ctx.broadcast_cell(mss, PrxMsg::OutputBatch { items });
         }
     }
 

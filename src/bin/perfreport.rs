@@ -2,7 +2,8 @@
 //!
 //! Runs a fixed workload matrix through the simulator — sized well above the
 //! paper-scale experiments so kernel overhead dominates — and records wall
-//! time plus events/second for each, alongside sequential-vs-parallel wall
+//! time plus events/second for each, alongside a batched-vs-unbatched
+//! delivery comparison on the same rows, sequential-vs-parallel wall
 //! times for multi-seed experiment sweeps, the space-sharded scale curve
 //! (E12's ladder up to one million hosts), sharded throughput at 1/2/4/6/8
 //! workers, and cold-vs-warm run-cache timings. Results are printed as a
@@ -12,12 +13,14 @@
 //! ```text
 //! cargo run --release --bin perfreport
 //! cargo run --release --bin perfreport -- --shard-only
+//! cargo run --release --bin perfreport -- --delivery-only
 //! ```
 //!
 //! `--shard-only` re-times just the sharded legs and splices the fresh
 //! `scale` and `shard_throughput` sections into the existing
 //! `BENCH_kernel.json`, leaving every other section's numbers untouched
-//! (the `make shardbench` target).
+//! (the `make shardbench` target). `--delivery-only` does the same for the
+//! `delivery` section (the `make deliverybench` target).
 //!
 //! Every workload is a fixed `(config, seed)` pair, so the *work done* is
 //! identical from run to run and across machines; only the wall times vary.
@@ -41,14 +44,15 @@ struct KernelRow {
     events_per_sec: f64,
 }
 
-/// Steps `sim` until `horizon` or quiescence, counting processed events.
+/// Runs `sim` until `horizon` or quiescence, returning the kernel's
+/// logical-event count. Batched delivery processes several logical events
+/// per step, so the count comes from the kernel (where coalesced batch
+/// members and fused fan-out recipients count individually — both delivery
+/// modes report the same total for the same workload) rather than from
+/// counting step iterations.
 fn drive<P: Protocol>(sim: &mut Simulation<P>, horizon: u64) -> u64 {
-    let limit = SimTime::from_ticks(horizon);
-    let mut events = 0u64;
-    while sim.now() < limit && sim.step() {
-        events += 1;
-    }
-    events
+    sim.run_until(SimTime::from_ticks(horizon));
+    sim.kernel().events_processed()
 }
 
 fn measure(name: &'static str, run: impl Fn() -> u64) -> KernelRow {
@@ -72,42 +76,118 @@ fn measure(name: &'static str, run: impl Fn() -> u64) -> KernelRow {
     }
 }
 
+/// The three kernel workloads, parameterised by delivery mode so the
+/// `delivery` section can re-time the exact same rows on both paths.
+fn l2_workload(mode: DeliveryMode) -> u64 {
+    let cfg = NetworkConfig::new(8, 200).with_seed(11).with_delivery(mode);
+    let wl = WorkloadConfig::all_mhs(200, 2);
+    let mut sim = Simulation::new(cfg, MutexHarness::new(L2::new(8), wl));
+    let events = drive(&mut sim, 50_000_000);
+    let r = sim.protocol().report();
+    assert_eq!(r.safety_violations, 0);
+    assert!(r.completed >= 300, "most requests must finish: {r:?}");
+    events
+}
+
+fn r2_workload(mode: DeliveryMode) -> u64 {
+    let cfg = NetworkConfig::new(8, 120).with_seed(12).with_delivery(mode);
+    let wl = WorkloadConfig::all_mhs(120, 2);
+    let algo = R2::new(8, RingGuard::Counter);
+    let mut sim = Simulation::new(cfg, MutexHarness::new(algo, wl));
+    let events = drive(&mut sim, 2_000_000);
+    assert_eq!(sim.protocol().report().safety_violations, 0);
+    events
+}
+
+fn lv_workload(mode: DeliveryMode) -> u64 {
+    let members: Vec<MhId> = (0..60u32).map(MhId).collect();
+    let cfg = NetworkConfig::new(8, 60)
+        .with_seed(13)
+        .with_delivery(mode)
+        .with_mobility(MobilityConfig::moving(400));
+    let wl = GroupWorkload::new(members.clone(), 120, 50);
+    let mut sim = Simulation::new(
+        cfg,
+        GroupHarness::new(LocationView::new(members, MssId(0)), wl),
+    );
+    let events = drive(&mut sim, 2_000_000);
+    assert!(sim.protocol().report().delivered > 0);
+    events
+}
+
+/// A kernel workload: runs under the given delivery mode, returns the
+/// logical event count.
+type Workload = fn(DeliveryMode) -> u64;
+
+/// The kernel workload matrix: `(row name, workload)` pairs shared by the
+/// `kernel` section (batched, the shipping configuration) and the
+/// `delivery` section (both modes).
+const KERNEL_WORKLOADS: [(&str, Workload); 3] = [
+    ("l2_mutex_n200_m8", l2_workload),
+    ("r2_ring_n120_m8", r2_workload),
+    ("location_view_g60_mobile", lv_workload),
+];
+
 fn kernel_matrix() -> Vec<KernelRow> {
-    vec![
-        measure("l2_mutex_n200_m8", || {
-            let cfg = NetworkConfig::new(8, 200).with_seed(11);
-            let wl = WorkloadConfig::all_mhs(200, 2);
-            let mut sim = Simulation::new(cfg, MutexHarness::new(L2::new(8), wl));
-            let events = drive(&mut sim, 50_000_000);
-            let r = sim.protocol().report();
-            assert_eq!(r.safety_violations, 0);
-            assert!(r.completed >= 300, "most requests must finish: {r:?}");
-            events
-        }),
-        measure("r2_ring_n120_m8", || {
-            let cfg = NetworkConfig::new(8, 120).with_seed(12);
-            let wl = WorkloadConfig::all_mhs(120, 2);
-            let algo = R2::new(8, RingGuard::Counter);
-            let mut sim = Simulation::new(cfg, MutexHarness::new(algo, wl));
-            let events = drive(&mut sim, 2_000_000);
-            assert_eq!(sim.protocol().report().safety_violations, 0);
-            events
-        }),
-        measure("location_view_g60_mobile", || {
-            let members: Vec<MhId> = (0..60u32).map(MhId).collect();
-            let cfg = NetworkConfig::new(8, 60)
-                .with_seed(13)
-                .with_mobility(MobilityConfig::moving(400));
-            let wl = GroupWorkload::new(members.clone(), 120, 50);
-            let mut sim = Simulation::new(
-                cfg,
-                GroupHarness::new(LocationView::new(members, MssId(0)), wl),
+    KERNEL_WORKLOADS
+        .into_iter()
+        .map(|(name, f)| measure(name, || f(DeliveryMode::Batched)))
+        .collect()
+}
+
+/// One kernel row timed under both delivery modes.
+struct DeliveryRow {
+    name: &'static str,
+    events: u64,
+    unbatched_ms: f64,
+    batched_ms: f64,
+    unbatched_eps: f64,
+    batched_eps: f64,
+    speedup: f64,
+}
+
+/// The `l2_mutex_n200_m8` acceptance floor: twice the pre-delivery-engine
+/// rate recorded on the reference box (1.44M events/s).
+const L2_FLOOR_EPS: f64 = 2.9e6;
+
+fn delivery_matrix() -> Vec<DeliveryRow> {
+    KERNEL_WORKLOADS
+        .into_iter()
+        .map(|(name, f)| {
+            let un = measure(name, || f(DeliveryMode::Unbatched));
+            let ba = measure(name, || f(DeliveryMode::Batched));
+            assert_eq!(
+                un.events, ba.events,
+                "{name}: delivery modes must process the same logical events"
             );
-            let events = drive(&mut sim, 2_000_000);
-            assert!(sim.protocol().report().delivered > 0);
-            events
-        }),
-    ]
+            let speedup = ba.events_per_sec / un.events_per_sec;
+            // Batching must never cost throughput; 0.9 absorbs timing noise
+            // on the short rows.
+            assert!(
+                speedup >= 0.9,
+                "{name}: batched delivery regressed throughput ({:.0} vs {:.0} events/s)",
+                ba.events_per_sec,
+                un.events_per_sec
+            );
+            if name == "l2_mutex_n200_m8" {
+                assert!(
+                    ba.events_per_sec >= L2_FLOOR_EPS,
+                    "l2 row below the delivery-engine acceptance floor: \
+                     {:.0} < {L2_FLOOR_EPS:.0} events/s",
+                    ba.events_per_sec
+                );
+            }
+            DeliveryRow {
+                name,
+                events: ba.events,
+                unbatched_ms: un.wall_ms,
+                batched_ms: ba.wall_ms,
+                unbatched_eps: un.events_per_sec,
+                batched_eps: ba.events_per_sec,
+                speedup,
+            }
+        })
+        .collect()
 }
 
 /// One sweep timed sequentially and at the parallel worker count.
@@ -466,6 +546,48 @@ fn splice_sharded_sections(report: &str, fresh: &str) -> String {
     out
 }
 
+/// The `delivery` section exactly as it appears in the full report — from
+/// `  "delivery": [` up to and including its trailing `],` newline. Shared
+/// by the full serializer and the `--delivery-only` splice.
+fn delivery_section_json(delivery: &[DeliveryRow]) -> String {
+    let mut j = String::from("  \"delivery\": [\n");
+    for (i, r) in delivery.iter().enumerate() {
+        let _ = writeln!(
+            j,
+            "    {{\"name\": \"{}\", \"events\": {}, \"unbatched_ms\": {:.3}, \"batched_ms\": {:.3}, \
+             \"unbatched_events_per_sec\": {:.0}, \"batched_events_per_sec\": {:.0}, \"speedup\": {:.2}}}{}",
+            json_escape_free(r.name),
+            r.events,
+            r.unbatched_ms,
+            r.batched_ms,
+            r.unbatched_eps,
+            r.batched_eps,
+            r.speedup,
+            if i + 1 < delivery.len() { "," } else { "" }
+        );
+    }
+    j.push_str("  ],\n");
+    j
+}
+
+/// `--delivery-only`: replace the `delivery` section of an existing report
+/// in place, anchored on the section headers (it sits between `kernel` and
+/// `sweeps` by construction).
+fn splice_delivery_section(report: &str, fresh: &str) -> String {
+    let start = report
+        .find("  \"delivery\": [")
+        .expect("BENCH_kernel.json has no delivery section; run a full perfreport first");
+    let after = report[start..]
+        .find("\n  \"sweeps\":")
+        .map(|off| start + off + 1)
+        .expect("BENCH_kernel.json has no sweeps section after delivery");
+    let mut out = String::with_capacity(report.len());
+    out.push_str(&report[..start]);
+    out.push_str(fresh);
+    out.push_str(&report[after..]);
+    out
+}
+
 fn json_escape_free(s: &str) -> &str {
     // All names in this report are static identifiers; assert rather than
     // escape so a future rename cannot silently emit invalid JSON.
@@ -479,6 +601,7 @@ fn json_escape_free(s: &str) -> &str {
 #[allow(clippy::too_many_arguments)] // one flat serializer, one section per arg
 fn to_json(
     kernel: &[KernelRow],
+    delivery: &[DeliveryRow],
     sweeps: &[SweepRow],
     scale: &[ScaleRow],
     shard_hosts: usize,
@@ -499,7 +622,9 @@ fn to_json(
             if i + 1 < kernel.len() { "," } else { "" }
         );
     }
-    j.push_str("  ],\n  \"sweeps\": [\n");
+    j.push_str("  ],\n");
+    j.push_str(&delivery_section_json(delivery));
+    j.push_str("  \"sweeps\": [\n");
     for (i, r) in sweeps.iter().enumerate() {
         let _ = writeln!(
             j,
@@ -604,14 +729,45 @@ fn shard_only() {
     println!("spliced scale + shard_throughput into BENCH_kernel.json");
 }
 
+/// Prints the delivery comparison rows in the report's console format.
+fn print_delivery(delivery: &[DeliveryRow]) {
+    for r in delivery {
+        println!(
+            "  {:<28} unbatched {:>12.0} ev/s   batched {:>12.0} ev/s   speedup {:.2}x",
+            r.name, r.unbatched_eps, r.batched_eps, r.speedup
+        );
+    }
+}
+
+/// Re-times the delivery comparison only and splices it into the existing
+/// `BENCH_kernel.json` (the `make deliverybench` fast path).
+fn delivery_only() {
+    let path = "BENCH_kernel.json";
+    let report = std::fs::read_to_string(path)
+        .expect("BENCH_kernel.json not found; run a full perfreport first");
+    println!("delivery-only: re-timing kernel rows under both delivery modes");
+    let delivery = delivery_matrix();
+    print_delivery(&delivery);
+    let fresh = delivery_section_json(&delivery);
+    std::fs::write(path, splice_delivery_section(&report, &fresh))
+        .expect("write BENCH_kernel.json");
+    println!("spliced delivery into BENCH_kernel.json");
+}
+
 fn main() {
     // A caller-supplied cache would memoize the sweep legs and turn the
     // seq/par timings into replay timings; the cache section manages the
     // variable itself. A caller-supplied MOBIDIST_JOBS is irrelevant: the
-    // sweep legs pass their worker counts explicitly.
+    // sweep legs pass their worker counts explicitly. A caller-supplied
+    // MOBIDIST_DELIVERY is overridden row by row: every workload pins its
+    // mode via `with_delivery`.
     std::env::remove_var(mobidist_runcache::CACHE_ENV);
     if std::env::args().any(|a| a == "--shard-only") {
         shard_only();
+        return;
+    }
+    if std::env::args().any(|a| a == "--delivery-only") {
+        delivery_only();
         return;
     }
     println!(
@@ -635,6 +791,9 @@ fn main() {
             r.name, r.events, r.wall_ms, r.events_per_sec
         );
     }
+    println!("\ndelivery engine (batched vs unbatched, median of 3 each):");
+    let delivery = delivery_matrix();
+    print_delivery(&delivery);
     println!("\nsweep fan-out (sequential vs {} workers):", par_jobs());
     let sweeps = sweep_matrix();
     for r in &sweeps {
@@ -723,6 +882,7 @@ fn main() {
     );
     let json = to_json(
         &kernel,
+        &delivery,
         &sweeps,
         &scale,
         shard_hosts,
